@@ -1,0 +1,188 @@
+// Security experiment (paper §IV-E claims): DoS resilience under forged
+// traffic, and the contrast with the unauthenticated Deluge baseline.
+//
+// Scenarios (one-hop cell, 4 honest receivers + 1 attacker, error-free
+// links so every forged packet lands):
+//  * baseline        — no attacker.
+//  * data-flood      — forged data packets every 15 ms. LR-Seluge must
+//                      finish with byte-exact images; every forged packet
+//                      costs exactly one hash (never a signature, never
+//                      buffer space).
+//  * sig-flood       — forged signature packets without valid puzzles:
+//                      rejected by a single hash, signature verifications
+//                      stay at one per node.
+//  * sig-flood+work  — the attacker solves the puzzles (2^strength hashes
+//                      per packet); receivers now burn signature checks
+//                      but integrity still holds.
+//  * deluge-data-flood — the same data flood against Deluge: forged
+//                      payloads are stored and recovered images corrupt.
+#include <iostream>
+
+#include "attack/adversary.h"
+#include "bench/common.h"
+#include "core/lr_image.h"
+#include "crypto/wots.h"
+#include "proto/deluge.h"
+#include "proto/sluice.h"
+#include "proto/engine.h"
+
+namespace lrs::bench {
+namespace {
+
+using attack::InjectorConfig;
+using attack::InjectorNode;
+
+struct Outcome {
+  bool complete = false;
+  bool intact = false;
+  std::uint64_t injected = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t hash_ops = 0;
+  std::uint64_t sig_verifies = 0;
+  std::uint64_t puzzle_rejects = 0;
+  double latency_s = 0.0;
+};
+
+enum class Victim { kLrSeluge, kDeluge, kSluice };
+
+Outcome run_scenario(Victim victim, bool with_attacker, bool forge_data,
+                     bool forge_sigs, bool solve_puzzles) {
+  proto::CommonParams params;
+  params.payload_size = 64;
+  params.k = 16;
+  params.n = 24;
+  params.k0 = 8;
+  params.n0 = 16;
+  params.puzzle_strength = 10;
+
+  const std::size_t kReceivers = 4;
+  const Bytes image = core::make_test_image(8 * 1024, 77);
+  crypto::MultiKeySigner signer(view(Bytes{9, 9}), 2);
+
+  auto make_state = [&](bool base) -> std::unique_ptr<proto::SchemeState> {
+    switch (victim) {
+      case Victim::kDeluge:
+        return base ? proto::make_deluge_source(params, image)
+                    : proto::make_deluge_receiver(params, image.size());
+      case Victim::kSluice:
+        return base
+                   ? proto::make_sluice_source(params, image, signer)
+                   : proto::make_sluice_receiver(params,
+                                                 signer.root_public_key());
+      case Victim::kLrSeluge:
+        return base ? core::make_lr_source(params, image, signer)
+                    : core::make_lr_receiver(params,
+                                             signer.root_public_key());
+    }
+    return nullptr;
+  };
+
+  sim::Simulator simulator(
+      sim::Topology::star(kReceivers + (with_attacker ? 1 : 0)),
+      sim::make_perfect_channel(), sim::RadioParams{}, 5);
+
+  proto::EngineConfig cfg;
+  cfg.timing.trickle.tau_low = 1 * sim::kSecond;
+  cfg.timing.trickle.tau_high = 60 * sim::kSecond;
+  const Bytes key =
+      victim == Victim::kDeluge ? Bytes{} : params.cluster_key;
+
+  std::vector<proto::DissemNode*> nodes;
+  cfg.is_base_station = true;
+  nodes.push_back(
+      &simulator.add_node<proto::DissemNode>(make_state(true), cfg, key));
+  cfg.is_base_station = false;
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    nodes.push_back(
+        &simulator.add_node<proto::DissemNode>(make_state(false), cfg, key));
+  }
+
+  InjectorNode* attacker = nullptr;
+  if (with_attacker) {
+    InjectorConfig icfg;
+    icfg.version = params.version;
+    icfg.period = 15 * sim::kMillisecond;
+    icfg.forge_data = forge_data;
+    icfg.data_pages = 6;
+    icfg.data_indices = params.n;
+    icfg.data_payload_size = params.payload_size;
+    icfg.forge_signatures = forge_sigs;
+    icfg.solve_puzzles = solve_puzzles;
+    icfg.puzzle_strength = params.puzzle_strength;
+    attacker = &simulator.add_node<InjectorNode>(icfg);
+  }
+
+  const auto done = [&] {
+    for (std::size_t i = 1; i <= kReceivers; ++i) {
+      if (!nodes[i]->image_complete()) return false;
+    }
+    return true;
+  };
+  simulator.run(900LL * sim::kSecond, done);
+
+  Outcome out;
+  out.complete = done();
+  out.intact = out.complete;
+  for (std::size_t i = 1; i <= kReceivers && out.intact; ++i) {
+    if (nodes[i]->scheme().assemble_image() != image) out.intact = false;
+  }
+  out.injected = attacker ? attacker->injected() : 0;
+  const auto& m = simulator.metrics();
+  out.auth_failures = m.total_auth_failures();
+  out.hash_ops = m.total_hash_verifications();
+  out.sig_verifies = m.total_signature_verifications();
+  for (NodeId i = 1; i <= kReceivers; ++i)
+    out.puzzle_rejects += m.node(i).puzzle_rejections;
+  out.latency_s = sim::to_seconds(m.last_completion());
+  return out;
+}
+
+void run() {
+  Table t({"scenario", "complete", "images_intact", "injected",
+           "auth_failures", "hash_ops", "sig_verifies", "puzzle_rejects",
+           "latency_s"});
+  struct Scenario {
+    const char* name;
+    Victim victim;
+    bool attacker, data, sigs, solve;
+  };
+  const Scenario scenarios[] = {
+      {"lr/baseline", Victim::kLrSeluge, false, false, false, false},
+      {"lr/data-flood", Victim::kLrSeluge, true, true, false, false},
+      {"lr/sig-flood", Victim::kLrSeluge, true, false, true, false},
+      {"lr/sig-flood+work", Victim::kLrSeluge, true, false, true, true},
+      {"sluice/baseline", Victim::kSluice, false, false, false, false},
+      {"sluice/data-flood", Victim::kSluice, true, true, false, false},
+      {"deluge/baseline", Victim::kDeluge, false, false, false, false},
+      {"deluge/data-flood", Victim::kDeluge, true, true, false, false},
+  };
+  for (const auto& s : scenarios) {
+    const Outcome o = run_scenario(s.victim, s.attacker, s.data, s.sigs,
+                                   s.solve);
+    t.add_row({s.name, o.complete ? "yes" : "NO", o.intact ? "yes" : "NO",
+               format_num(static_cast<double>(o.injected)),
+               format_num(static_cast<double>(o.auth_failures)),
+               format_num(static_cast<double>(o.hash_ops)),
+               format_num(static_cast<double>(o.sig_verifies)),
+               format_num(static_cast<double>(o.puzzle_rejects)),
+               format_num(o.latency_s, 1)});
+  }
+  print_table("Attack resilience: forged traffic vs dissemination", t);
+  std::cout << "\nReading guide: lr/* scenarios must complete with intact\n"
+               "images; forged data costs one hash each (auth_failures),\n"
+               "forged signatures die at the puzzle check unless the\n"
+               "attacker spends 2^strength work, and even then integrity\n"
+               "holds. sluice/data-flood shows deferred (page-level)\n"
+               "authentication melting down: poisoned pages are discarded\n"
+               "wholesale and dissemination crawls or stalls (the paper's\n"
+               "S VII critique). deluge/data-flood shows the unauthenticated\n"
+               "baseline accepting forged payloads outright.\n";
+}
+
+}  // namespace
+}  // namespace lrs::bench
+
+int main() {
+  lrs::bench::run();
+  return 0;
+}

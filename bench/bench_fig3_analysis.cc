@@ -1,0 +1,96 @@
+// Figure 3: analytical vs simulated data-packet transmissions for ONE page
+// in a one-hop cell.
+//
+//  (a) vs packet-loss rate p (N = 10 receivers)
+//  (b) vs number of receivers N (p = 0.2)
+//
+// Series: Seluge analytic (Theorem-1 closed form), Seluge simulated,
+// ACK-based LR-Seluge analytic bound (Monte Carlo of the exact process),
+// LR-Seluge simulated. Simulated values exclude hash-page (page 0) packets
+// so they are comparable with the single-content-page models. Expected
+// shape: simulation tracks the analytic curves; LR-Seluge stays below the
+// ACK bound's neighborhood and far below Seluge once p grows; the ACK
+// bound steps up when one coding round stops sufficing
+// (P[Bin(n,1-p) >= k'] collapsing).
+#include <iostream>
+
+#include "analysis/one_hop.h"
+#include "bench/common.h"
+
+namespace lrs::bench {
+namespace {
+
+core::ExperimentConfig one_page_config(core::Scheme scheme, double p,
+                                       std::size_t receivers) {
+  core::ExperimentConfig c = paper_config(scheme);
+  // Size the image to exactly one content page.
+  c.image_size = c.params.k * c.params.payload_size;  // page g capacity
+  c.receivers = receivers;
+  c.loss_p = p;
+  return c;
+}
+
+double simulated_content_data(core::Scheme scheme, double p,
+                              std::size_t receivers) {
+  const auto r = run_experiment_avg(one_page_config(scheme, p, receivers), 5);
+  return static_cast<double>(r.data_packets) -
+         static_cast<double>(r.page0_data_packets);
+}
+
+void part_a() {
+  const std::size_t kReceivers = 10;
+  const auto base = paper_config(core::Scheme::kLrSeluge);
+  Table t({"p", "seluge_analytic", "seluge_sim", "acklr_analytic",
+           "lr_sim", "one_round_prob"});
+  for (double p : {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45}) {
+    analysis::AckLrModel model;
+    model.k_prime = base.params.k;
+    model.n = base.params.n;
+    model.receivers = kReceivers;
+    model.loss = p;
+    model.trials = 5000;
+    t.add_row({format_num(p, 2),
+               format_num(analysis::seluge_expected_data_tx(
+                   base.params.k, kReceivers, p), 1),
+               format_num(simulated_content_data(core::Scheme::kSeluge, p,
+                                                 kReceivers), 1),
+               format_num(model.evaluate(), 1),
+               format_num(simulated_content_data(core::Scheme::kLrSeluge, p,
+                                                 kReceivers), 1),
+               format_num(analysis::one_round_completion_probability(
+                   base.params.k, base.params.n, p), 3)});
+  }
+  print_table("Fig. 3(a): data packets per page vs loss rate (N=10)", t);
+}
+
+void part_b() {
+  const double kLoss = 0.2;
+  const auto base = paper_config(core::Scheme::kLrSeluge);
+  Table t({"N", "seluge_analytic", "seluge_sim", "acklr_analytic", "lr_sim"});
+  for (std::size_t n_recv : {1u, 5u, 10u, 15u, 20u, 25u, 30u}) {
+    analysis::AckLrModel model;
+    model.k_prime = base.params.k;
+    model.n = base.params.n;
+    model.receivers = n_recv;
+    model.loss = kLoss;
+    model.trials = 5000;
+    t.add_row({format_num(static_cast<double>(n_recv)),
+               format_num(analysis::seluge_expected_data_tx(
+                   base.params.k, n_recv, kLoss), 1),
+               format_num(simulated_content_data(core::Scheme::kSeluge,
+                                                 kLoss, n_recv), 1),
+               format_num(model.evaluate(), 1),
+               format_num(simulated_content_data(core::Scheme::kLrSeluge,
+                                                 kLoss, n_recv), 1)});
+  }
+  print_table("Fig. 3(b): data packets per page vs receivers (p=0.2)", t);
+}
+
+}  // namespace
+}  // namespace lrs::bench
+
+int main() {
+  lrs::bench::part_a();
+  lrs::bench::part_b();
+  return 0;
+}

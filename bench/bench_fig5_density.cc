@@ -1,0 +1,40 @@
+// Figure 5(a)-(e): impact of the number of local receivers N at p = 0.1.
+//
+// Expected shape: Seluge's data and SNACK costs grow markedly with N (each
+// extra receiver demands its exact missing packets); LR-Seluge is far less
+// sensitive because any k' of n packets complete a page, so one broadcast
+// burst serves everyone. The paper additionally observes Seluge's latency
+// creeping up with N while LR-Seluge's slightly decreases (more requesters
+// -> the first SNACK for each page fires sooner).
+#include "bench/common.h"
+
+namespace lrs::bench {
+namespace {
+
+void run() {
+  Table t({"N", "scheme", "data_pkts", "snack_pkts", "adv_pkts",
+           "total_bytes", "latency_s"});
+  for (std::size_t n_recv : {4u, 8u, 12u, 16u, 20u, 24u, 28u, 32u}) {
+    for (auto scheme : {core::Scheme::kSeluge, core::Scheme::kLrSeluge}) {
+      auto cfg = paper_config(scheme);
+      cfg.receivers = n_recv;
+      cfg.loss_p = 0.1;
+      const auto r = run_experiment_avg(cfg, 3);
+      std::vector<std::string> row{format_num(static_cast<double>(n_recv)),
+                                   core::scheme_name(scheme)};
+      for (auto& cell : metric_cells(r)) row.push_back(cell);
+      t.add_row(std::move(row));
+    }
+  }
+  print_table(
+      "Fig. 5: impact of receiver count N (one-hop, p=0.1, 20 KB, 3 seeds)",
+      t);
+}
+
+}  // namespace
+}  // namespace lrs::bench
+
+int main() {
+  lrs::bench::run();
+  return 0;
+}

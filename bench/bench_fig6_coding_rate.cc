@@ -1,0 +1,49 @@
+// Figure 6(a)-(e): impact of the erasure-coding rate n/k on LR-Seluge.
+//
+// k is fixed at 32 while n sweeps; each loss rate gets its own series.
+// Expected shape (paper §VI-B.3): introducing redundancy sharply cuts
+// SNACK and data traffic (the paper cites -70.5% SNACKs and -30% data at
+// p=0.1, n=56); pushing n further brings costs back up because the n*8
+// bytes of next-page hashes ride inside every page, shrinking per-page
+// image capacity and adding pages.
+#include "bench/common.h"
+
+namespace lrs::bench {
+namespace {
+
+void run() {
+  Table t({"p", "n", "rate", "pages", "data_pkts", "snack_pkts", "adv_pkts",
+           "total_bytes", "latency_s"});
+  for (double p : {0.05, 0.1, 0.2}) {
+    for (std::size_t n : {32u, 36u, 40u, 44u, 48u, 52u, 56u, 60u, 64u}) {
+      auto cfg = paper_config(core::Scheme::kLrSeluge);
+      cfg.params.n = n;
+      cfg.loss_p = p;
+      const auto r = run_experiment_avg(cfg, 3);
+      // Page count from the capacity math (mirrors the builder).
+      const std::size_t mid =
+          cfg.params.k * cfg.params.payload_size - n * 8;
+      const std::size_t last = cfg.params.k * cfg.params.payload_size;
+      const std::size_t pages =
+          cfg.image_size <= last
+              ? 1
+              : 1 + (cfg.image_size - last + mid - 1) / mid;
+      std::vector<std::string> row{
+          format_num(p, 2), format_num(static_cast<double>(n)),
+          format_num(static_cast<double>(n) / 32.0, 2),
+          format_num(static_cast<double>(pages))};
+      for (auto& cell : metric_cells(r)) row.push_back(cell);
+      t.add_row(std::move(row));
+    }
+  }
+  print_table(
+      "Fig. 6: impact of coding rate n/k (one-hop, N=20, k=32, 3 seeds)", t);
+}
+
+}  // namespace
+}  // namespace lrs::bench
+
+int main() {
+  lrs::bench::run();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks for the cryptographic substrate (google-benchmark):
+// SHA-256 throughput, packet hashes, HMAC, Merkle build/path/verify, WOTS
+// keygen/sign/verify, puzzle solve/verify. These are the per-packet and
+// per-image costs a sensor node pays (paper §III cites 1.12 s for one
+// ECDSA verification on a Tmote Sky — our WOTS substitute is measured
+// here).
+#include <benchmark/benchmark.h>
+
+#include "crypto/hash.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/puzzle.h"
+#include "crypto/sha256.h"
+#include "crypto/wots.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lrs;
+using namespace lrs::crypto;
+
+Bytes random_bytes(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(size);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform(256));
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(view(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_PacketHash(benchmark::State& state) {
+  const Bytes packet = random_bytes(77, 2);  // typical data-frame preimage
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packet_hash(view(packet)));
+  }
+}
+BENCHMARK(BM_PacketHash);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = random_bytes(16, 3);
+  const Bytes msg = random_bytes(32, 4);  // control packet
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(view(key), view(msg)));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  const std::size_t leaves = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> data;
+  for (std::size_t i = 0; i < leaves; ++i) data.push_back(random_bytes(72, i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::build(data));
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  std::vector<Bytes> data;
+  for (std::size_t i = 0; i < 16; ++i) data.push_back(random_bytes(72, i));
+  const auto tree = MerkleTree::build(data);
+  const auto path = tree.auth_path(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MerkleTree::compute_root(view(data[5]), 5, path));
+  }
+}
+BENCHMARK(BM_MerkleVerify);
+
+void BM_WotsKeygen(benchmark::State& state) {
+  const Bytes seed = random_bytes(32, 5);
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WotsKeyPair::generate(view(seed), index++));
+  }
+}
+BENCHMARK(BM_WotsKeygen);
+
+void BM_WotsSign(benchmark::State& state) {
+  const Bytes seed = random_bytes(32, 6);
+  const Bytes msg = random_bytes(40, 7);
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto kp = WotsKeyPair::generate(view(seed), index++);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(kp.sign(view(msg)));
+  }
+}
+BENCHMARK(BM_WotsSign);
+
+void BM_WotsVerify(benchmark::State& state) {
+  const Bytes seed = random_bytes(32, 8);
+  const Bytes msg = random_bytes(40, 9);
+  auto kp = WotsKeyPair::generate(view(seed), 0);
+  const auto sig = kp.sign(view(msg));
+  const auto pk = kp.public_key();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WotsKeyPair::verify(pk, view(msg), sig));
+  }
+}
+BENCHMARK(BM_WotsVerify);
+
+void BM_CertifiedVerify(benchmark::State& state) {
+  const Bytes seed = random_bytes(32, 10);
+  const Bytes msg = random_bytes(40, 11);
+  MultiKeySigner signer(view(seed), 2);
+  const auto sig = signer.sign(view(msg));
+  const auto root = signer.root_public_key();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiKeySigner::verify(root, view(msg), sig));
+  }
+}
+BENCHMARK(BM_CertifiedVerify);
+
+void BM_PuzzleSolve(benchmark::State& state) {
+  const auto strength = static_cast<std::uint8_t>(state.range(0));
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    const Bytes msg = random_bytes(48, nonce++);
+    benchmark::DoNotOptimize(solve_puzzle(view(msg), strength));
+  }
+}
+BENCHMARK(BM_PuzzleSolve)->Arg(8)->Arg(12);
+
+void BM_PuzzleVerify(benchmark::State& state) {
+  const Bytes msg = random_bytes(48, 12);
+  const auto sol = solve_puzzle(view(msg), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_puzzle(view(msg), sol));
+  }
+}
+BENCHMARK(BM_PuzzleVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Microbenchmarks for the erasure-coding substrate: GF(256) inner loops,
+// matrix inversion, and full-page encode/decode for the paper's geometry
+// (k=32, n=48, 64-byte blocks) across all three codecs — the per-page
+// computational price of loss resilience.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "erasure/code.h"
+#include "erasure/gf256.h"
+#include "erasure/matrix.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lrs;
+using namespace lrs::erasure;
+
+std::vector<Bytes> random_blocks(std::size_t k, std::size_t len,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> blocks(k);
+  for (auto& b : blocks) {
+    b.resize(len);
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  return blocks;
+}
+
+void BM_Gf256Addmul(benchmark::State& state) {
+  Bytes dst(1024, 3), src(1024, 7);
+  for (auto _ : state) {
+    Gf256::addmul(MutByteView(dst.data(), dst.size()), view(src), 0x8e);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Gf256Addmul);
+
+void BM_MatrixInvert(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  MatrixGf256 m(n, n);
+  do {
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        m.set(r, c, static_cast<std::uint8_t>(rng.uniform(256)));
+  } while (!m.inverted().has_value());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.inverted());
+  }
+}
+BENCHMARK(BM_MatrixInvert)->Arg(8)->Arg(32);
+
+struct CodecCase {
+  CodecKind kind;
+  std::size_t delta;
+};
+
+void encode_bench(benchmark::State& state, CodecKind kind,
+                  std::size_t delta) {
+  auto code = make_code(kind, 32, 48, delta, 42);
+  const auto blocks = random_blocks(32, 64, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code->encode(blocks));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          32 * 64);
+}
+
+void decode_bench(benchmark::State& state, CodecKind kind,
+                  std::size_t delta) {
+  auto code = make_code(kind, 32, 48, delta, 42);
+  const auto blocks = random_blocks(32, 64, 3);
+  const auto encoded = code->encode(blocks);
+  // Worst-ish case: all parity-heavy tail shares.
+  std::vector<Share> shares;
+  const std::size_t take = code->decode_threshold() + 2;
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t idx = 48 - 1 - i;
+    shares.push_back({idx, encoded[idx]});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code->decode(shares));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          32 * 64);
+}
+
+void BM_RsEncode(benchmark::State& s) { encode_bench(s, CodecKind::kReedSolomon, 0); }
+void BM_RsDecode(benchmark::State& s) { decode_bench(s, CodecKind::kReedSolomon, 0); }
+void BM_Rlc2Encode(benchmark::State& s) { encode_bench(s, CodecKind::kRlcGf2, 2); }
+void BM_Rlc2Decode(benchmark::State& s) { decode_bench(s, CodecKind::kRlcGf2, 2); }
+void BM_Rlc256Encode(benchmark::State& s) { encode_bench(s, CodecKind::kRlcGf256, 1); }
+void BM_Rlc256Decode(benchmark::State& s) { decode_bench(s, CodecKind::kRlcGf256, 1); }
+
+BENCHMARK(BM_RsEncode);
+BENCHMARK(BM_RsDecode);
+BENCHMARK(BM_Rlc2Encode);
+BENCHMARK(BM_Rlc2Decode);
+BENCHMARK(BM_Rlc256Encode);
+BENCHMARK(BM_Rlc256Decode);
+
+void BM_SystematicFastPathDecode(benchmark::State& state) {
+  auto code = make_rs_code(32, 48);
+  const auto blocks = random_blocks(32, 64, 4);
+  const auto encoded = code->encode(blocks);
+  std::vector<Share> shares;
+  for (std::size_t i = 0; i < 32; ++i) shares.push_back({i, encoded[i]});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code->decode(shares));
+  }
+}
+BENCHMARK(BM_SystematicFastPathDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Microbenchmarks for the TX schedulers: how fast the greedy round-robin
+// tracking table picks packets as neighborhood size grows, versus the
+// union scheduler — the per-transmission CPU cost of the paper's §IV-D.3
+// algorithm.
+#include <benchmark/benchmark.h>
+
+#include "core/greedy_scheduler.h"
+#include "proto/scheduler.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lrs;
+
+void fill_requests(proto::TxScheduler& s, std::size_t n,
+                   std::size_t receivers, std::size_t kprime, Rng& rng) {
+  for (NodeId v = 0; v < receivers; ++v) {
+    BitVec bits(n);
+    for (std::size_t j = 0; j < n; ++j) bits.set(j, rng.bernoulli(0.6));
+    if (bits.none()) bits.set(0);
+    const std::size_t q = bits.count();
+    const std::size_t d = q + kprime > n ? q + kprime - n : 1;
+    s.on_snack(v, bits, d);
+  }
+}
+
+void BM_GreedyDrain(benchmark::State& state) {
+  const std::size_t receivers = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::GreedyRoundRobinScheduler s(48);
+    fill_requests(s, 48, receivers, 32, rng);
+    state.ResumeTiming();
+    while (s.next_packet()) {
+    }
+  }
+}
+BENCHMARK(BM_GreedyDrain)->Arg(4)->Arg(20)->Arg(100);
+
+void BM_UnionDrain(benchmark::State& state) {
+  const std::size_t receivers = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto s = proto::make_union_scheduler(48);
+    fill_requests(*s, 48, receivers, 32, rng);
+    state.ResumeTiming();
+    while (s->next_packet()) {
+    }
+  }
+}
+BENCHMARK(BM_UnionDrain)->Arg(4)->Arg(20)->Arg(100);
+
+void BM_GreedySnackMerge(benchmark::State& state) {
+  Rng rng(3);
+  core::GreedyRoundRobinScheduler s(48);
+  BitVec bits(48);
+  for (std::size_t j = 0; j < 48; ++j) bits.set(j, rng.bernoulli(0.5));
+  NodeId v = 0;
+  for (auto _ : state) {
+    s.on_snack(v++ % 64, bits, 16);
+  }
+}
+BENCHMARK(BM_GreedySnackMerge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Shared plumbing for the figure/table harnesses: each binary regenerates
+// one table or figure of the paper's evaluation (§V-§VI), printing an
+// aligned human-readable table plus machine-readable CSV.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/csv.h"
+
+namespace lrs::bench {
+
+/// Paper-scale defaults: 20 KB image, k = 32, n = 48 (rate 1.5), 64-byte
+/// payloads, N = 20 receivers, Deluge Trickle constants.
+inline core::ExperimentConfig paper_config(core::Scheme scheme) {
+  core::ExperimentConfig c;
+  c.scheme = scheme;
+  c.params.payload_size = 64;
+  c.params.k = 32;
+  c.params.n = 48;
+  c.params.k0 = 8;
+  c.params.n0 = 16;
+  c.params.puzzle_strength = 8;
+  c.image_size = 20 * 1024;
+  c.receivers = 20;
+  c.seed = 1;
+  c.timing.trickle.tau_low = 2 * sim::kSecond;
+  c.timing.trickle.tau_high = 60 * sim::kSecond;
+  return c;
+}
+
+/// The paper's five metrics as table cells.
+inline std::vector<std::string> metric_cells(
+    const core::ExperimentResult& r) {
+  return {format_num(static_cast<double>(r.data_packets)),
+          format_num(static_cast<double>(r.snack_packets)),
+          format_num(static_cast<double>(r.adv_packets)),
+          format_num(static_cast<double>(r.total_bytes)),
+          format_num(r.latency_s, 1)};
+}
+
+inline const std::vector<std::string> kMetricHeader = {
+    "data_pkts", "snack_pkts", "adv_pkts", "total_bytes", "latency_s"};
+
+inline void print_table(const std::string& title, const Table& table) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  std::cout << "\n-- CSV --\n";
+  table.print_csv(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace lrs::bench

@@ -1,0 +1,113 @@
+// Security demo: a hostile node floods the cell with forged data packets
+// while the base station disseminates an image.
+//
+// LR-Seluge authenticates every packet the moment it arrives (one hash),
+// so the flood costs the honest nodes almost nothing and the image arrives
+// byte-exact. The same flood against plain Deluge is accepted verbatim —
+// the "firmware" the baseline installs is attacker-controlled.
+//
+//   ./examples/attack_demo
+#include <cstdio>
+
+#include "attack/adversary.h"
+#include "core/experiment.h"
+#include "core/lr_image.h"
+#include "crypto/wots.h"
+#include "proto/deluge.h"
+#include "proto/engine.h"
+#include "sim/simulator.h"
+
+using namespace lrs;
+
+namespace {
+
+struct Result {
+  std::size_t complete = 0;
+  bool intact = true;
+  std::uint64_t injected = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t sig_verifies = 0;
+};
+
+Result run(bool secure) {
+  proto::CommonParams params;
+  params.payload_size = 64;
+  params.k = 16;
+  params.n = 24;
+  params.k0 = 8;
+  params.n0 = 16;
+  params.puzzle_strength = 10;
+
+  const std::size_t kReceivers = 4;
+  const Bytes image = core::make_test_image(8 * 1024, 2026);
+  crypto::MultiKeySigner signer(view(Bytes{0x42}), 1);
+
+  sim::Simulator simulator(sim::Topology::star(kReceivers + 1),
+                           sim::make_perfect_channel(), sim::RadioParams{},
+                           1);
+  proto::EngineConfig cfg;
+  cfg.is_base_station = true;
+  const Bytes key = secure ? params.cluster_key : Bytes{};
+  std::vector<proto::DissemNode*> nodes;
+  nodes.push_back(&simulator.add_node<proto::DissemNode>(
+      secure ? core::make_lr_source(params, image, signer)
+             : proto::make_deluge_source(params, image),
+      cfg, key));
+  cfg.is_base_station = false;
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    nodes.push_back(&simulator.add_node<proto::DissemNode>(
+        secure ? core::make_lr_receiver(params, signer.root_public_key())
+               : proto::make_deluge_receiver(params, image.size()),
+        cfg, key));
+  }
+
+  attack::InjectorConfig icfg;
+  icfg.version = params.version;
+  icfg.period = 12 * sim::kMillisecond;
+  icfg.data_pages = 6;
+  icfg.data_indices = params.n;
+  icfg.data_payload_size = params.payload_size;
+  auto& attacker = simulator.add_node<attack::InjectorNode>(icfg);
+
+  simulator.run(600LL * sim::kSecond, [&] {
+    for (std::size_t i = 1; i <= kReceivers; ++i)
+      if (!nodes[i]->image_complete()) return false;
+    return true;
+  });
+
+  Result r;
+  for (std::size_t i = 1; i <= kReceivers; ++i) {
+    if (!nodes[i]->image_complete()) {
+      r.intact = false;
+      continue;
+    }
+    ++r.complete;
+    if (nodes[i]->scheme().assemble_image() != image) r.intact = false;
+  }
+  r.injected = attacker.injected();
+  r.auth_failures = simulator.metrics().total_auth_failures();
+  r.sig_verifies = simulator.metrics().total_signature_verifications();
+  return r;
+}
+
+void report(const char* name, const Result& r) {
+  std::printf("%-22s complete=%zu/4  forged=%lu  rejected=%lu  "
+              "sig_checks=%lu  firmware %s\n",
+              name, r.complete, static_cast<unsigned long>(r.injected),
+              static_cast<unsigned long>(r.auth_failures),
+              static_cast<unsigned long>(r.sig_verifies),
+              r.intact ? "GENUINE" : "*** CORRUPTED/MISSING ***");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("an attacker floods forged data packets during dissemination\n\n");
+  report("LR-Seluge (secure):", run(true));
+  report("Deluge (baseline):", run(false));
+  std::printf(
+      "\nLR-Seluge rejects every forged packet on arrival with one hash —\n"
+      "buffers stay clean, signatures are verified once, and the genuine\n"
+      "image survives. Deluge stores whatever arrives first.\n");
+  return 0;
+}

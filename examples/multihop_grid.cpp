@@ -1,0 +1,57 @@
+// Multi-hop dissemination demo: a base station in the corner of a sensor
+// grid pushes a new 20 KB image to every node over lossy multi-hop radio,
+// comparing LR-Seluge against the Seluge baseline.
+//
+//   ./examples/multihop_grid [rows cols spacing [loss_p]]
+//
+// e.g. ./examples/multihop_grid 10 10 20 0.1
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+
+using namespace lrs;
+using namespace lrs::core;
+
+int main(int argc, char** argv) {
+  std::size_t rows = 7, cols = 7;
+  double spacing = 20.0, loss = 0.05;
+  if (argc >= 4) {
+    rows = static_cast<std::size_t>(std::atoi(argv[1]));
+    cols = static_cast<std::size_t>(std::atoi(argv[2]));
+    spacing = std::atof(argv[3]);
+  }
+  if (argc >= 5) loss = std::atof(argv[4]);
+
+  std::printf("disseminating a 20 KB image over a %zux%zu grid "
+              "(spacing %.0f, extra loss p=%.2f)\n\n",
+              rows, cols, spacing, loss);
+
+  for (auto scheme : {Scheme::kSeluge, Scheme::kLrSeluge}) {
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.params.puzzle_strength = 8;
+    cfg.topo = ExperimentConfig::Topo::kGrid;
+    cfg.grid_rows = rows;
+    cfg.grid_cols = cols;
+    cfg.grid_spacing = spacing;
+    cfg.loss_p = loss;
+    cfg.image_size = 20 * 1024;
+    cfg.time_limit = 3600LL * sim::kSecond;
+
+    const auto r = run_experiment(cfg);
+    std::printf("%-10s: %zu/%zu nodes complete in %.1f s\n",
+                scheme_name(scheme), r.completed, r.receivers, r.latency_s);
+    std::printf("            data %lu pkts | SNACK %lu | adv %lu | "
+                "%.1f KB on air | integrity %s\n\n",
+                static_cast<unsigned long>(r.data_packets),
+                static_cast<unsigned long>(r.snack_packets),
+                static_cast<unsigned long>(r.adv_packets),
+                static_cast<double>(r.total_bytes) / 1024.0,
+                r.images_match ? "byte-exact on every node" : "VIOLATED");
+  }
+  std::printf("LR-Seluge's erasure-coded pages shine in multi-hop settings:\n"
+              "every overheard packet is useful to every neighbor, so the\n"
+              "same broadcast serves nodes with independent loss patterns.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "analysis/one_hop.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lrs::analysis {
+
+double seluge_expected_data_tx(std::size_t k, std::span<const double> loss) {
+  LRS_CHECK(k >= 1);
+  for (double p : loss) LRS_CHECK(p >= 0.0 && p < 1.0);
+
+  // E[max_i G_i] = sum_{t>=0} P(max > t); the t=0 term is 1 (every packet
+  // is transmitted at least once) and P(max > t) = 1 - prod_i (1 - p_i^t).
+  double expect = 1.0;
+  std::vector<double> pt(loss.begin(), loss.end());  // p_i^t, starts at t=1
+  for (int t = 1; t < 100000; ++t) {
+    double prod = 1.0;
+    for (double v : pt) prod *= 1.0 - v;
+    const double term = 1.0 - prod;
+    expect += term;
+    if (term < 1e-12) break;
+    for (std::size_t i = 0; i < pt.size(); ++i) pt[i] *= loss[i];
+  }
+  return static_cast<double>(k) * expect;
+}
+
+double seluge_expected_data_tx(std::size_t k, std::size_t receivers,
+                               double p) {
+  std::vector<double> loss(receivers, p);
+  return seluge_expected_data_tx(k, loss);
+}
+
+namespace {
+
+/// One Monte-Carlo trial of the ACK-based process; returns transmissions.
+std::size_t ack_lr_trial(std::size_t k_prime, std::size_t n,
+                         std::span<const double> loss, Rng& rng) {
+  const std::size_t receivers = loss.size();
+  // has[i][j]: receiver i holds packet j. counts[i]: distinct held.
+  std::vector<std::vector<bool>> has(receivers,
+                                     std::vector<bool>(n, false));
+  std::vector<std::size_t> counts(receivers, 0);
+  std::size_t active = receivers;
+  std::size_t transmissions = 0;
+
+  while (active > 0) {
+    bool sent_this_round = false;
+    for (std::size_t j = 0; j < n && active > 0; ++j) {
+      // Skip packets no active receiver is missing.
+      bool wanted = false;
+      for (std::size_t i = 0; i < receivers; ++i) {
+        if (counts[i] < k_prime && !has[i][j]) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) continue;
+      ++transmissions;
+      sent_this_round = true;
+      for (std::size_t i = 0; i < receivers; ++i) {
+        if (counts[i] >= k_prime || has[i][j]) continue;
+        if (!rng.bernoulli(loss[i])) {
+          has[i][j] = true;
+          if (++counts[i] == k_prime) --active;
+        }
+      }
+    }
+    LRS_CHECK_MSG(sent_this_round || active == 0,
+                  "ACK model stalled (k' > n?)");
+  }
+  return transmissions;
+}
+
+}  // namespace
+
+double AckLrModel::evaluate() const {
+  LRS_CHECK(k_prime >= 1 && k_prime <= n);
+  std::vector<double> loss_vec = loss_per_receiver;
+  if (loss_vec.empty()) loss_vec.assign(receivers, loss);
+  for (double p : loss_vec) LRS_CHECK(p >= 0.0 && p < 1.0);
+  if (loss_vec.empty()) return static_cast<double>(k_prime);
+
+  Rng rng(seed);
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    total += static_cast<double>(ack_lr_trial(k_prime, n, loss_vec, rng));
+  }
+  return total / static_cast<double>(trials);
+}
+
+double AckLrModel::expected_rounds() const {
+  // A round transmits at most n packets; the mean transmission count
+  // divided by n under-counts partial rounds, so simulate rounds directly.
+  std::vector<double> loss_vec = loss_per_receiver;
+  if (loss_vec.empty()) loss_vec.assign(receivers, loss);
+  if (loss_vec.empty()) return 1.0;
+
+  Rng rng(seed + 1);
+  double total_rounds = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t receivers_n = loss_vec.size();
+    std::vector<std::vector<bool>> has(receivers_n,
+                                       std::vector<bool>(n, false));
+    std::vector<std::size_t> counts(receivers_n, 0);
+    std::size_t active = receivers_n;
+    std::size_t rounds = 0;
+    while (active > 0) {
+      ++rounds;
+      for (std::size_t j = 0; j < n && active > 0; ++j) {
+        bool wanted = false;
+        for (std::size_t i = 0; i < receivers_n; ++i) {
+          if (counts[i] < k_prime && !has[i][j]) {
+            wanted = true;
+            break;
+          }
+        }
+        if (!wanted) continue;
+        for (std::size_t i = 0; i < receivers_n; ++i) {
+          if (counts[i] >= k_prime || has[i][j]) continue;
+          if (!rng.bernoulli(loss_vec[i])) {
+            has[i][j] = true;
+            if (++counts[i] == k_prime) --active;
+          }
+        }
+      }
+    }
+    total_rounds += static_cast<double>(rounds);
+  }
+  return total_rounds / static_cast<double>(trials);
+}
+
+double one_round_completion_probability(std::size_t k_prime, std::size_t n,
+                                        double p) {
+  LRS_CHECK(k_prime <= n);
+  // P(Binomial(n, 1-p) >= k').
+  double prob = 0.0;
+  double log_choose = 0.0;  // log C(n, 0)
+  for (std::size_t s = 0; s <= n; ++s) {
+    if (s >= k_prime) {
+      const double log_term =
+          log_choose + static_cast<double>(s) * std::log(1.0 - p) +
+          static_cast<double>(n - s) * std::log(p > 0 ? p : 1e-300);
+      prob += std::exp(log_term);
+    }
+    if (s < n) {
+      log_choose += std::log(static_cast<double>(n - s)) -
+                    std::log(static_cast<double>(s + 1));
+    }
+  }
+  return std::min(prob, 1.0);
+}
+
+}  // namespace lrs::analysis

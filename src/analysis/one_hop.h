@@ -1,0 +1,59 @@
+// Analytical models of one-hop data-packet transmissions (paper §V-A).
+//
+// Setting: one local sender, N receivers, every packet to receiver i lost
+// independently with probability p_i (the model of [20] adopted by the
+// paper). Two quantities are derived:
+//
+//  * Seluge (Theorem 1 shape): each of the k packets of a page must be
+//    retransmitted until every receiver holds that exact packet. The
+//    number of transmissions of one packet is max_i G_i with G_i geometric
+//    (success 1 - p_i), so
+//        E[T_seluge] = k * sum_{t>=1} (1 - prod_i (1 - p_i^t)).
+//
+//  * ACK-based LR-Seluge (Theorem 2 shape): an idealized variant in which
+//    receivers acknowledge truthfully after every packet and the sender
+//    cycles over the n encoded packets, skipping packets nobody needs and
+//    stopping each receiver's service once it holds k' distinct packets.
+//    The paper uses it as an analytical upper bound on real (SNACK-based)
+//    LR-Seluge. Its expectation has no convenient closed form for N > 1;
+//    evaluate() computes it by seeded Monte Carlo over the exact process.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lrs::analysis {
+
+/// E[data transmissions] for one Seluge page, heterogeneous loss rates.
+double seluge_expected_data_tx(std::size_t k, std::span<const double> loss);
+
+/// Uniform-loss convenience overload.
+double seluge_expected_data_tx(std::size_t k, std::size_t receivers,
+                               double p);
+
+struct AckLrModel {
+  std::size_t k_prime = 32;  // packets a receiver needs to decode
+  std::size_t n = 48;        // encoded packets per page
+  std::size_t receivers = 20;
+  double loss = 0.1;              // uniform loss probability
+  std::vector<double> loss_per_receiver;  // overrides `loss` if non-empty
+
+  std::size_t trials = 20'000;
+  std::uint64_t seed = 1;
+
+  /// Mean data transmissions per page under the ACK-based process.
+  double evaluate() const;
+
+  /// Mean number of full passes ("rounds") over the packet set.
+  double expected_rounds() const;
+};
+
+/// Probability that a receiver collects >= k' of n packets in a single
+/// pass when each is lost with probability p (one-round completion — the
+/// quantity behind the step in Fig. 3 at the loss rate where one round
+/// stops sufficing).
+double one_round_completion_probability(std::size_t k_prime, std::size_t n,
+                                        double p);
+
+}  // namespace lrs::analysis

@@ -1,0 +1,92 @@
+// Adversary nodes for the security experiments (paper §III, §IV-E).
+//
+// The injector mounts the attacks the Seluge line of work defends against:
+//   * bogus data packets — random payloads with well-formed headers, aimed
+//     at polluting receiver buffers / forcing wasted verification;
+//   * forged signature packets — without a valid puzzle they must be
+//     rejected by one cheap hash, never reaching signature verification;
+//   * (optionally) puzzle-solved forged signatures — the adversary spends
+//     2^strength hashes per packet and still fails signature verification;
+//   * denial-of-receipt — a *compromised* node (it holds the cluster key)
+//     keeps SNACKing all-ones bitmaps to bleed a server's battery; the
+//     engine's per-neighbor budget (EngineConfig::dor_mitigation) caps it.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/packet.h"
+#include "proto/params.h"
+#include "sim/simulator.h"
+
+namespace lrs::attack {
+
+struct InjectorConfig {
+  Version version = 1;
+  sim::SimTime period = 20 * sim::kMillisecond;  // injection interval
+  sim::SimTime start_delay = 0;
+  sim::SimTime stop_after = 0;  // 0 = never stop
+
+  bool forge_data = true;
+  std::uint32_t data_pages = 4;       // page numbers to spray
+  std::uint32_t data_indices = 48;    // index range to spray
+  std::size_t data_payload_size = 64;
+
+  bool forge_signatures = false;
+  /// Spend the work to solve the puzzle on forged signature packets
+  /// (models a well-resourced attacker; receivers then waste a signature
+  /// verification instead of one hash).
+  bool solve_puzzles = false;
+  std::uint8_t puzzle_strength = 12;
+};
+
+/// Broadcasts forged traffic on a schedule. Holds no keys.
+class InjectorNode final : public sim::Node {
+ public:
+  InjectorNode(sim::Env& env, InjectorConfig config);
+
+  void on_start() override;
+  void on_receive(ByteView) override {}
+
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  void inject();
+
+  InjectorConfig cfg_;
+  std::uint64_t injected_ = 0;
+};
+
+struct DenialOfReceiptConfig {
+  Version version = 1;
+  NodeId victim = 0;
+  std::uint32_t page = 0;
+  std::size_t packets_in_page = 48;
+  sim::SimTime period = 100 * sim::kMillisecond;
+  Bytes cluster_key;  // compromised node: it has the key
+
+  /// Claim a fresh fake sender ID on every SNACK. Under a shared cluster
+  /// key this defeats the per-neighbor DoR budget (the MAC does not bind
+  /// the sender); under LEAP-style per-source keys the forged identities
+  /// fail verification, because the attacker only holds ITS OWN key.
+  bool rotate_sender_ids = false;
+};
+
+/// A compromised node that denies every receipt: it SNACKs an all-ones
+/// bitmap at the victim forever, regardless of what it receives.
+class DenialOfReceiptNode final : public sim::Node {
+ public:
+  DenialOfReceiptNode(sim::Env& env, DenialOfReceiptConfig config);
+
+  void on_start() override;
+  void on_receive(ByteView) override {}
+
+  std::uint64_t snacks_sent() const { return snacks_sent_; }
+
+ private:
+  void send_snack();
+
+  DenialOfReceiptConfig cfg_;
+  std::uint64_t snacks_sent_ = 0;
+};
+
+}  // namespace lrs::attack

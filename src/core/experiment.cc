@@ -1,0 +1,196 @@
+#include "core/experiment.h"
+
+#include <vector>
+
+#include "core/lr_image.h"
+#include "crypto/wots.h"
+#include "proto/deluge.h"
+#include "proto/engine.h"
+#include "proto/rateless.h"
+#include "proto/sluice.h"
+#include "proto/seluge.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lrs::core {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kDeluge: return "deluge";
+    case Scheme::kRatelessDeluge: return "rateless";
+    case Scheme::kSluice: return "sluice";
+    case Scheme::kSeluge: return "seluge";
+    case Scheme::kLrSeluge: return "lr-seluge";
+  }
+  return "?";
+}
+
+Bytes make_test_image(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed ^ 0xabcdef1234ULL);
+  Bytes image(size);
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.uniform(256));
+  return image;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const Bytes image = make_test_image(config.image_size, config.seed);
+
+  // Key material: one signer for the whole deployment.
+  const Bytes key_seed{0x11, 0x22, 0x33, 0x44};
+  crypto::MultiKeySigner signer(view(key_seed), /*height=*/2);
+  const crypto::PacketHash root_pk = signer.root_public_key();
+
+  // One-hop cells are error-free at the link layer (paper §VI-A): the
+  // only losses are the application-layer drops of the loss model.
+  sim::Topology topology =
+      config.topo == ExperimentConfig::Topo::kStar
+          ? sim::Topology::star(config.receivers)
+          : sim::Topology::grid(config.grid_rows, config.grid_cols,
+                                config.grid_spacing, config.link);
+  const std::size_t node_count = topology.size();
+  const std::size_t receiver_count = node_count - 1;
+
+  std::unique_ptr<sim::LossModel> loss;
+  if (config.gilbert_elliott) {
+    loss = sim::make_gilbert_elliott(config.ge, node_count,
+                                     config.seed ^ 0x6e01);
+  } else if (config.loss_p > 0.0) {
+    loss = sim::make_uniform_loss(config.loss_p);
+  } else {
+    loss = sim::make_perfect_channel();
+  }
+
+  sim::Simulator simulator(std::move(topology), std::move(loss), config.radio,
+                           config.seed);
+
+  auto make_scheme = [&](bool base) -> std::unique_ptr<proto::SchemeState> {
+    switch (config.scheme) {
+      case Scheme::kDeluge:
+        return base ? proto::make_deluge_source(config.params, image)
+                    : proto::make_deluge_receiver(config.params, image.size());
+      case Scheme::kRatelessDeluge:
+        return base
+                   ? proto::make_rateless_source(config.params, image)
+                   : proto::make_rateless_receiver(config.params, image.size());
+      case Scheme::kSluice:
+        return base ? proto::make_sluice_source(config.params, image, signer)
+                    : proto::make_sluice_receiver(config.params, root_pk);
+      case Scheme::kSeluge:
+        return base ? proto::make_seluge_source(config.params, image, signer)
+                    : proto::make_seluge_receiver(config.params, root_pk);
+      case Scheme::kLrSeluge:
+        return base ? make_lr_source(config.params, image, signer)
+                    : make_lr_receiver(config.params, root_pk);
+    }
+    return nullptr;
+  };
+
+  const bool insecure = config.scheme == Scheme::kDeluge ||
+                        config.scheme == Scheme::kRatelessDeluge;
+  const Bytes cluster_key = insecure ? Bytes{} : config.params.cluster_key;
+
+  proto::EngineConfig engine;
+  engine.timing = config.timing;
+  engine.dor_mitigation = config.dor_mitigation;
+  engine.leap_snack_auth = config.params.leap_snack_auth && !insecure;
+  engine.leap_master = config.params.leap_master;
+
+  std::vector<proto::DissemNode*> nodes;
+  nodes.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    proto::EngineConfig cfg = engine;
+    cfg.is_base_station = i == 0;
+    nodes.push_back(&simulator.add_node<proto::DissemNode>(
+        make_scheme(i == 0), cfg, cluster_key));
+  }
+
+  auto& metrics = simulator.metrics();
+  const auto done = [&] { return metrics.completed_count(0) == receiver_count; };
+  simulator.run(config.time_limit, done);
+
+  ExperimentResult r;
+  r.receivers = receiver_count;
+  r.completed = metrics.completed_count(0);
+  r.all_complete = r.completed == receiver_count;
+
+  r.data_packets = metrics.total_sent(sim::PacketClass::kData);
+  for (NodeId i = 0; i < node_count; ++i)
+    r.page0_data_packets += metrics.node(i).page0_data_sent;
+  r.snack_packets = metrics.total_sent(sim::PacketClass::kSnack);
+  r.adv_packets = metrics.total_sent(sim::PacketClass::kAdvertisement);
+  r.sig_packets = metrics.total_sent(sim::PacketClass::kSignature);
+  r.total_bytes = metrics.total_sent_bytes();
+  r.latency_s = r.all_complete
+                    ? sim::to_seconds(metrics.last_completion())
+                    : sim::to_seconds(config.time_limit);
+  r.collisions = simulator.collisions();
+  r.hash_verifications = metrics.total_hash_verifications();
+  r.signature_verifications = metrics.total_signature_verifications();
+  r.auth_failures = metrics.total_auth_failures();
+
+  double tx_us = 0, rx_us = 0;
+  for (NodeId i = 0; i < node_count; ++i) {
+    tx_us += static_cast<double>(metrics.node(i).tx_airtime_us);
+    rx_us += static_cast<double>(metrics.node(i).rx_airtime_us);
+  }
+  r.tx_energy_mj = tx_us * 1e-6 * config.radio.tx_power_mw;
+  r.rx_energy_mj = rx_us * 1e-6 * config.radio.rx_power_mw;
+  r.listen_energy_mj = static_cast<double>(node_count) * r.latency_s *
+                       config.radio.rx_power_mw;
+
+  r.images_match = true;
+  for (std::size_t i = 1; i < node_count; ++i) {
+    if (!nodes[i]->image_complete()) {
+      if (metrics.node(static_cast<NodeId>(i)).completion_time >= 0)
+        r.images_match = false;  // inconsistent bookkeeping
+      continue;
+    }
+    if (nodes[i]->scheme().assemble_image() != image) r.images_match = false;
+  }
+  return r;
+}
+
+ExperimentResult run_experiment_avg(const ExperimentConfig& config,
+                                    std::size_t repeats) {
+  LRS_CHECK(repeats >= 1);
+  ExperimentResult avg;
+  double data = 0, snack = 0, adv = 0, sig = 0, bytes = 0, latency = 0;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    ExperimentConfig c = config;
+    c.seed = config.seed + i;
+    const ExperimentResult r = run_experiment(c);
+    avg.receivers = r.receivers;
+    avg.completed += r.completed;
+    avg.all_complete = (i == 0 ? true : avg.all_complete) && r.all_complete;
+    avg.images_match = (i == 0 ? true : avg.images_match) && r.images_match;
+    data += static_cast<double>(r.data_packets);
+    avg.page0_data_packets += r.page0_data_packets;
+    snack += static_cast<double>(r.snack_packets);
+    adv += static_cast<double>(r.adv_packets);
+    sig += static_cast<double>(r.sig_packets);
+    bytes += static_cast<double>(r.total_bytes);
+    latency += r.latency_s;
+    avg.collisions += r.collisions;
+    avg.tx_energy_mj += r.tx_energy_mj / static_cast<double>(repeats);
+    avg.rx_energy_mj += r.rx_energy_mj / static_cast<double>(repeats);
+    avg.listen_energy_mj +=
+        r.listen_energy_mj / static_cast<double>(repeats);
+    avg.hash_verifications += r.hash_verifications;
+    avg.signature_verifications += r.signature_verifications;
+    avg.auth_failures += r.auth_failures;
+  }
+  const double inv = 1.0 / static_cast<double>(repeats);
+  avg.completed /= repeats;
+  avg.data_packets = static_cast<std::uint64_t>(data * inv + 0.5);
+  avg.page0_data_packets =
+      static_cast<std::uint64_t>(static_cast<double>(avg.page0_data_packets) *
+                                     inv + 0.5);
+  avg.snack_packets = static_cast<std::uint64_t>(snack * inv + 0.5);
+  avg.adv_packets = static_cast<std::uint64_t>(adv * inv + 0.5);
+  avg.sig_packets = static_cast<std::uint64_t>(sig * inv + 0.5);
+  avg.total_bytes = static_cast<std::uint64_t>(bytes * inv + 0.5);
+  avg.latency_s = latency * inv;
+  return avg;
+}
+
+}  // namespace lrs::core

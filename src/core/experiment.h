@@ -1,0 +1,88 @@
+// One-call experiment runner shared by the end-to-end tests and every
+// benchmark harness: builds a network of DissemNodes running a chosen
+// scheme, disseminates a pseudorandom image, and reports the paper's five
+// metrics (data / SNACK / advertisement packets, total bytes, latency)
+// plus integrity and verification-work counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "proto/params.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+
+namespace lrs::core {
+
+enum class Scheme { kDeluge, kRatelessDeluge, kSluice, kSeluge, kLrSeluge };
+
+const char* scheme_name(Scheme s);
+
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kLrSeluge;
+  proto::CommonParams params{};
+  proto::EngineTiming timing{};
+  bool dor_mitigation = true;
+
+  std::size_t image_size = 20 * 1024;  // the paper's 20 KB image
+  std::uint64_t seed = 1;
+
+  // Topology: a one-hop star of `receivers`, or a rows x cols grid.
+  enum class Topo { kStar, kGrid } topo = Topo::kStar;
+  std::size_t receivers = 20;
+  std::size_t grid_rows = 15;
+  std::size_t grid_cols = 15;
+  double grid_spacing = 10.0;
+  sim::LinkModel link{};
+
+  // Channel: uniform app-layer loss p (paper §VI-A), optionally replaced
+  // by Gilbert-Elliott burst noise (multi-hop tables).
+  double loss_p = 0.0;
+  bool gilbert_elliott = false;
+  sim::GilbertElliottParams ge{};
+
+  sim::RadioParams radio{};
+  sim::SimTime time_limit = 4LL * 3600 * sim::kSecond;
+};
+
+struct ExperimentResult {
+  bool all_complete = false;
+  std::size_t completed = 0;
+  std::size_t receivers = 0;
+
+  std::uint64_t data_packets = 0;
+  std::uint64_t page0_data_packets = 0;
+  std::uint64_t snack_packets = 0;
+  std::uint64_t adv_packets = 0;
+  std::uint64_t sig_packets = 0;
+  std::uint64_t total_bytes = 0;
+  double latency_s = 0.0;
+
+  std::uint64_t collisions = 0;
+  std::uint64_t hash_verifications = 0;
+  std::uint64_t signature_verifications = 0;
+  std::uint64_t auth_failures = 0;
+
+  /// Radio energy across all nodes, millijoules: time on the air
+  /// transmitting, time locked onto incoming frames, and an always-on
+  /// idle-listening upper bound (node-count x latency x rx power) — the
+  /// quantity a duty-cycling MAC would shrink but whose ORDER tracks
+  /// dissemination latency.
+  double tx_energy_mj = 0.0;
+  double rx_energy_mj = 0.0;
+  double listen_energy_mj = 0.0;
+
+  /// Every completed receiver reassembled exactly the published image.
+  bool images_match = false;
+};
+
+/// Deterministic pseudorandom image of `size` bytes.
+Bytes make_test_image(std::size_t size, std::uint64_t seed);
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Averages `repeats` runs with derived seeds (seed, seed+1, ...).
+ExperimentResult run_experiment_avg(const ExperimentConfig& config,
+                                    std::size_t repeats);
+
+}  // namespace lrs::core

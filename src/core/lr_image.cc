@@ -1,0 +1,499 @@
+#include "core/lr_image.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/greedy_scheduler.h"
+#include "crypto/merkle.h"
+#include "crypto/puzzle.h"
+#include "erasure/code.h"
+#include "proto/layout.h"
+#include "proto/packet.h"
+#include "util/check.h"
+
+namespace lrs::core {
+
+namespace {
+
+using proto::CommonParams;
+using proto::compute_layout;
+using proto::DataStatus;
+using proto::PageLayout;
+using proto::page_slice;
+using proto::place_slice;
+using proto::SignedMeta;
+
+class LrSelugeState final : public proto::SchemeState {
+ public:
+  /// Receiver: empty until the signature packet verifies.
+  LrSelugeState(const CommonParams& params, const crypto::PacketHash& root_pk)
+      : params_(params),
+        root_pk_(root_pk),
+        code_(erasure::make_code(params.codec, params.k, params.n,
+                                 params.delta, params.code_seed)),
+        code0_(erasure::make_code(params.codec, params.k0, params.n0,
+                                  std::min(params.delta,
+                                           params.n0 - params.k0),
+                                  params.code_seed ^ 0x9e3779b9ULL)) {
+    validate_lr_params(params_);
+  }
+
+  /// Base station: preprocess + sign.
+  LrSelugeState(const CommonParams& params, const Bytes& image,
+                crypto::MultiKeySigner& signer)
+      : LrSelugeState(params, signer.root_public_key()) {
+    build_from_image(image, signer);
+  }
+
+  // --- geometry --------------------------------------------------------------
+
+  Version version() const override { return params_.version; }
+
+  std::uint32_t num_pages() const override {
+    return meta_ ? meta_->content_pages + 1 : 0;
+  }
+
+  std::size_t packets_in_page(std::uint32_t page) const override {
+    return page == 0 ? params_.n0 : params_.n;
+  }
+
+  std::size_t decode_threshold(std::uint32_t page) const override {
+    return page == 0 ? code0_->decode_threshold() : code_->decode_threshold();
+  }
+
+  // --- receiver --------------------------------------------------------------
+
+  std::uint32_t pages_complete() const override { return complete_pages_; }
+
+  bool image_complete() const override {
+    return meta_ && complete_pages_ == meta_->content_pages + 1;
+  }
+
+  Bytes assemble_image() const override {
+    LRS_CHECK_MSG(image_complete(), "image not complete yet");
+    const PageLayout layout = current_layout();
+    Bytes image(layout.image_size, 0);
+    const std::size_t g = meta_->content_pages;
+    for (std::size_t p = 1; p <= g; ++p) {
+      Bytes input;
+      for (const auto& block : page_inputs_[p - 1]) {
+        input.insert(input.end(), block.begin(), block.end());
+      }
+      input.resize(p < g ? layout.mid_capacity : layout.last_capacity);
+      place_slice(image, layout, p, view(input));
+    }
+    return image;
+  }
+
+  BitVec request_bits(std::uint32_t page) const override {
+    const std::size_t count = packets_in_page(page);
+    BitVec bits(count);
+    if (!meta_ || page != complete_pages_) return bits;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (!have_.get(j)) bits.set(j);
+    }
+    return bits;
+  }
+
+  DataStatus on_data(std::uint32_t page, std::uint32_t index,
+                     ByteView payload, sim::NodeMetrics& m) override {
+    if (!meta_) return DataStatus::kStale;  // cannot authenticate yet
+    if (page != complete_pages_ || page > meta_->content_pages) {
+      return DataStatus::kStale;
+    }
+    const std::size_t count = packets_in_page(page);
+    if (index >= count) {
+      m.auth_failures += 1;
+      return DataStatus::kRejected;
+    }
+    if (have_.get(index)) return DataStatus::kStale;
+
+    if (page == 0) {
+      if (!verify_page0_packet(index, payload, m)) {
+        m.auth_failures += 1;
+        return DataStatus::kRejected;
+      }
+      // Keep only the encoded block; auth paths are regenerated on demand.
+      shares_.push_back(
+          {index, Bytes(payload.begin(),
+                        payload.begin() +
+                            static_cast<std::ptrdiff_t>(page0_block_size()))});
+    } else {
+      proto::DataPacket probe;
+      probe.version = params_.version;
+      probe.page = page;
+      probe.index = index;
+      probe.payload = Bytes(payload.begin(), payload.end());
+      m.hash_verifications += 1;
+      if (payload.size() != params_.payload_size ||
+          !crypto::equal(crypto::packet_hash(view(probe.hash_preimage())),
+                         current_hashes_[index])) {
+        m.auth_failures += 1;
+        return DataStatus::kRejected;
+      }
+      shares_.push_back({index, std::move(probe.payload)});
+    }
+    have_.set(index);
+
+    // Enough authenticated packets? Attempt the erasure decode.
+    if (shares_.size() >= decode_threshold(page)) {
+      m.decode_operations += 1;
+      const auto& codec = page == 0 ? code0_ : code_;
+      if (auto blocks = codec->decode(shares_)) {
+        finish_page(page, *std::move(blocks));
+        return image_complete() ? DataStatus::kImageComplete
+                                : DataStatus::kPageComplete;
+      }
+      // Probabilistic code needed more rank; keep collecting.
+    }
+    return DataStatus::kStored;
+  }
+
+  // --- signature --------------------------------------------------------------
+
+  bool verify_stored_packet(std::uint32_t page, std::uint32_t index,
+                            ByteView payload,
+                            sim::NodeMetrics& m) const override {
+    if (!meta_ || page >= complete_pages_ || index >= packets_in_page(page))
+      return false;
+    if (page == 0) {
+      // Non-const verify helper not usable here; redo the Merkle check.
+      const std::size_t depth = merkle_depth();
+      const std::size_t block = page0_block_size();
+      if (payload.size() != block + depth * crypto::kPacketHashSize)
+        return false;
+      std::vector<crypto::PacketHash> path;
+      for (std::size_t lvl = 0; lvl < depth; ++lvl) {
+        path.push_back(crypto::read_packet_hash(
+            payload, block + lvl * crypto::kPacketHashSize));
+      }
+      m.hash_verifications += depth + 1;
+      return crypto::equal(crypto::MerkleTree::compute_root(
+                               payload.subspan(0, block), index, path),
+                           root_);
+    }
+    if (payload.size() != params_.payload_size ||
+        page_hashes_[page].size() != params_.n) {
+      return false;
+    }
+    proto::DataPacket probe;
+    probe.version = params_.version;
+    probe.page = page;
+    probe.index = index;
+    probe.payload = Bytes(payload.begin(), payload.end());
+    m.hash_verifications += 1;
+    return crypto::equal(crypto::packet_hash(view(probe.hash_preimage())),
+                         page_hashes_[page][index]);
+  }
+
+  bool needs_signature() const override { return true; }
+  bool bootstrapped() const override { return meta_.has_value(); }
+
+  bool on_signature(ByteView frame, sim::NodeMetrics& m) override {
+    if (meta_) return false;
+    auto packet = proto::SignaturePacket::parse(frame);
+    if (!packet || packet->meta.version != params_.version) {
+      m.auth_failures += 1;
+      return false;
+    }
+    const Bytes msg = packet->signed_message();
+    // Enforce the preloaded puzzle strength: the packet's own strength
+    // field is attacker-controlled and must not weaken the gate.
+    if (packet->puzzle.strength < params_.puzzle_strength ||
+        !crypto::verify_puzzle(view(msg), packet->puzzle)) {
+      m.puzzle_rejections += 1;
+      return false;
+    }
+    auto cert =
+        crypto::CertifiedSignature::deserialize(view(packet->signature));
+    m.signature_verifications += 1;
+    if (!cert || !crypto::MultiKeySigner::verify(root_pk_, view(msg), *cert)) {
+      m.auth_failures += 1;
+      return false;
+    }
+    adopt_meta(packet->meta, packet->root);
+    signature_frame_ = Bytes(frame.begin(), frame.end());
+    return true;
+  }
+
+  std::optional<Bytes> signature_frame() const override {
+    return signature_frame_;
+  }
+
+  // --- sender ----------------------------------------------------------------
+
+  std::optional<Bytes> packet_payload(std::uint32_t page,
+                                      std::uint32_t index) override {
+    if (!meta_ || page >= complete_pages_ ||
+        index >= packets_in_page(page)) {
+      return std::nullopt;
+    }
+    const auto& encoded = encoded_page(page);
+    return encoded[index];
+  }
+
+  std::unique_ptr<proto::TxScheduler> make_scheduler(
+      std::uint32_t page) const override {
+    if (!params_.lr_greedy_scheduler)
+      return proto::make_union_scheduler(packets_in_page(page));
+    return make_greedy_scheduler(packets_in_page(page));
+  }
+
+ private:
+  // --- geometry helpers -------------------------------------------------------
+
+  std::size_t hash_block_bytes() const {
+    return params_.n * crypto::kPacketHashSize;  // appended per mid page
+  }
+  std::size_t page0_bytes() const { return hash_block_bytes(); }
+  std::size_t page0_block_size() const {
+    return (page0_bytes() + params_.k0 - 1) / params_.k0;
+  }
+  std::size_t merkle_depth() const {
+    std::size_t d = 0;
+    while ((std::size_t{1} << d) < params_.n0) ++d;
+    return d;
+  }
+
+  PageLayout current_layout() const {
+    LRS_CHECK(meta_.has_value());
+    PageLayout l = compute_layout(meta_->image_size, mid_capacity(),
+                                  last_capacity());
+    LRS_CHECK_MSG(l.content_pages == meta_->content_pages,
+                  "signed geometry disagrees with preloaded parameters");
+    return l;
+  }
+
+  std::size_t mid_capacity() const {
+    return params_.k * params_.payload_size - hash_block_bytes();
+  }
+  std::size_t last_capacity() const {
+    return params_.k * params_.payload_size;
+  }
+
+  void adopt_meta(const SignedMeta& meta, const crypto::PacketHash& root) {
+    LRS_CHECK(meta.content_pages >= 1 && meta.image_size >= 1);
+    meta_ = meta;
+    root_ = root;
+    page_inputs_.assign(meta.content_pages, {});
+    page_hashes_.assign(meta.content_pages + 1, {});
+    current_hashes_.clear();
+    reset_collection(0);
+  }
+
+  void reset_collection(std::uint32_t page) {
+    shares_.clear();
+    have_ = BitVec(packets_in_page(page));
+  }
+
+  // --- verification helpers ----------------------------------------------------
+
+  bool verify_page0_packet(std::uint32_t index, ByteView payload,
+                           sim::NodeMetrics& m) {
+    const std::size_t depth = merkle_depth();
+    const std::size_t block = page0_block_size();
+    if (payload.size() != block + depth * crypto::kPacketHashSize)
+      return false;
+    std::vector<crypto::PacketHash> path;
+    path.reserve(depth);
+    for (std::size_t lvl = 0; lvl < depth; ++lvl) {
+      path.push_back(crypto::read_packet_hash(
+          payload, block + lvl * crypto::kPacketHashSize));
+    }
+    m.hash_verifications += depth + 1;
+    return crypto::equal(crypto::MerkleTree::compute_root(
+                             payload.subspan(0, block), index, path),
+                         root_);
+  }
+
+  // --- page completion -----------------------------------------------------------
+
+  void finish_page(std::uint32_t page, std::vector<Bytes> blocks) {
+    if (page == 0) {
+      // M0 holds the hash images of page 1's n packets.
+      Bytes m0;
+      for (const auto& b : blocks) m0.insert(m0.end(), b.begin(), b.end());
+      m0.resize(page0_bytes());
+      m0_blocks_ = std::move(blocks);
+      current_hashes_ = parse_hashes(view(m0));
+    } else {
+      page_hashes_[page] = current_hashes_;  // archive for replay checks
+      // Blocks = image slice (+ next page's hashes below page g).
+      if (page < meta_->content_pages) {
+        Bytes input;
+        for (const auto& b : blocks)
+          input.insert(input.end(), b.begin(), b.end());
+        current_hashes_ = parse_hashes(
+            ByteView(input).subspan(mid_capacity(), hash_block_bytes()));
+      } else {
+        current_hashes_.clear();
+      }
+      page_inputs_[page - 1] = std::move(blocks);
+    }
+    ++complete_pages_;
+    if (complete_pages_ <= meta_->content_pages) {
+      reset_collection(complete_pages_);
+    } else {
+      shares_.clear();
+      have_ = BitVec();
+    }
+  }
+
+  std::vector<crypto::PacketHash> parse_hashes(ByteView data) const {
+    LRS_CHECK(data.size() >= hash_block_bytes());
+    std::vector<crypto::PacketHash> hashes;
+    hashes.reserve(params_.n);
+    for (std::size_t j = 0; j < params_.n; ++j) {
+      hashes.push_back(
+          crypto::read_packet_hash(data, j * crypto::kPacketHashSize));
+    }
+    return hashes;
+  }
+
+  // --- serving ----------------------------------------------------------------
+
+  /// Regenerates (and caches) all packets of a completed page.
+  const std::vector<Bytes>& encoded_page(std::uint32_t page) {
+    if (serve_cache_ && serve_cache_->first == page)
+      return serve_cache_->second;
+
+    std::vector<Bytes> payloads;
+    if (page == 0) {
+      LRS_CHECK(!m0_blocks_.empty());
+      auto encoded = code0_->encode(m0_blocks_);
+      std::vector<Bytes> leaves = encoded;
+      const auto tree = crypto::MerkleTree::build(leaves);
+      payloads.reserve(params_.n0);
+      for (std::size_t j = 0; j < params_.n0; ++j) {
+        Bytes payload = std::move(encoded[j]);
+        for (const auto& sib : tree.auth_path(j))
+          crypto::append(payload, sib);
+        payloads.push_back(std::move(payload));
+      }
+    } else {
+      payloads = code_->encode(page_inputs_[page - 1]);
+    }
+    serve_cache_ = {page, std::move(payloads)};
+    return serve_cache_->second;
+  }
+
+  // --- build (base station) -----------------------------------------------------
+
+  void build_from_image(const Bytes& image, crypto::MultiKeySigner& signer) {
+    const PageLayout layout =
+        compute_layout(image.size(), mid_capacity(), last_capacity());
+    const std::size_t g = layout.content_pages;
+
+    SignedMeta meta;
+    meta.version = params_.version;
+    meta.content_pages = static_cast<std::uint32_t>(g);
+    meta.image_size = static_cast<std::uint32_t>(image.size());
+
+    std::vector<std::vector<Bytes>> inputs(g);
+    std::vector<std::vector<crypto::PacketHash>> all_hashes(g + 1);
+    std::vector<crypto::PacketHash> next_hashes;  // of page p+1's packets
+    for (std::size_t p = g; p >= 1; --p) {
+      Bytes input = page_slice(view(image), layout, p);
+      if (p < g) {
+        for (const auto& h : next_hashes) crypto::append(input, h);
+      }
+      LRS_CHECK(input.size() == params_.k * params_.payload_size);
+      auto blocks = proto::split_fixed(view(input), params_.payload_size,
+                                       params_.k);
+      auto encoded = code_->encode(blocks);
+      std::vector<crypto::PacketHash> hashes(params_.n);
+      for (std::size_t j = 0; j < params_.n; ++j) {
+        proto::DataPacket probe;
+        probe.version = params_.version;
+        probe.page = static_cast<std::uint32_t>(p);
+        probe.index = static_cast<std::uint32_t>(j);
+        probe.payload = std::move(encoded[j]);
+        hashes[j] = crypto::packet_hash(view(probe.hash_preimage()));
+      }
+      inputs[p - 1] = std::move(blocks);
+      all_hashes[p] = hashes;
+      next_hashes = std::move(hashes);
+    }
+
+    // Hash page: M0 = h_{1,1} || ... || h_{1,n}, coded with f0, Merkle tree.
+    Bytes m0;
+    for (const auto& h : next_hashes) crypto::append(m0, h);
+    auto m0_blocks =
+        proto::split_fixed(view(m0), page0_block_size(), params_.k0);
+    auto encoded0 = code0_->encode(m0_blocks);
+    const auto tree = crypto::MerkleTree::build(encoded0);
+
+    proto::SignaturePacket sig;
+    sig.meta = meta;
+    sig.root = tree.root();
+    const Bytes msg = sig.signed_message();
+    sig.puzzle = crypto::solve_puzzle(view(msg), params_.puzzle_strength);
+    sig.signature = signer.sign(view(msg)).serialize();
+
+    // Adopt as fully complete.
+    adopt_meta(meta, tree.root());
+    m0_blocks_ = std::move(m0_blocks);
+    current_hashes_ = parse_hashes(view(m0));
+    page_inputs_ = std::move(inputs);
+    page_hashes_ = std::move(all_hashes);
+    complete_pages_ = static_cast<std::uint32_t>(g + 1);
+    // current_hashes_ after full build are not used for verification, but
+    // keep the page-1 hashes for symmetry/diagnostics.
+    signature_frame_ = sig.serialize();
+    shares_.clear();
+    have_ = BitVec();
+  }
+
+  CommonParams params_;
+  crypto::PacketHash root_pk_;
+  std::unique_ptr<erasure::ErasureCode> code_;   // k -> n
+  std::unique_ptr<erasure::ErasureCode> code0_;  // k0 -> n0
+
+  std::optional<SignedMeta> meta_;
+  crypto::PacketHash root_{};
+  std::optional<Bytes> signature_frame_;
+
+  // Decoded state: hash-page blocks and per-content-page input blocks.
+  std::vector<Bytes> m0_blocks_;
+  std::vector<std::vector<Bytes>> page_inputs_;
+  // Archived packet hashes of completed content pages (index = page number,
+  // entry 0 unused); lets verify_stored_packet() check straggler traffic.
+  std::vector<std::vector<crypto::PacketHash>> page_hashes_;
+
+  // Collection state for the page currently being received.
+  std::vector<erasure::Share> shares_;
+  BitVec have_;
+  std::vector<crypto::PacketHash> current_hashes_;  // for current page >= 1
+
+  std::uint32_t complete_pages_ = 0;
+  std::optional<std::pair<std::uint32_t, std::vector<Bytes>>> serve_cache_;
+};
+
+}  // namespace
+
+void validate_lr_params(const proto::CommonParams& params) {
+  LRS_CHECK_MSG(params.k >= 1 && params.k <= params.n,
+                "need 1 <= k <= n");
+  LRS_CHECK_MSG(params.k0 >= 1 && params.k0 <= params.n0,
+                "need 1 <= k0 <= n0");
+  LRS_CHECK_MSG((params.n0 & (params.n0 - 1)) == 0,
+                "n0 must be a power of two (Merkle tree)");
+  LRS_CHECK_MSG(
+      params.k * params.payload_size > params.n * crypto::kPacketHashSize,
+      "page too small to carry the next page's hash images");
+}
+
+std::unique_ptr<proto::SchemeState> make_lr_source(
+    const proto::CommonParams& params, const Bytes& image,
+    crypto::MultiKeySigner& signer) {
+  return std::make_unique<LrSelugeState>(params, image, signer);
+}
+
+std::unique_ptr<proto::SchemeState> make_lr_receiver(
+    const proto::CommonParams& params,
+    const crypto::PacketHash& root_public_key) {
+  return std::make_unique<LrSelugeState>(params, root_public_key);
+}
+
+}  // namespace lrs::core

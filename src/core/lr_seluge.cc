@@ -1,0 +1,41 @@
+#include "core/lr_seluge.h"
+
+#include "util/check.h"
+
+namespace lrs::core {
+
+Publisher::Publisher(proto::CommonParams params, ByteView key_seed,
+                     std::size_t key_height)
+    : params_(std::move(params)), signer_(key_seed, key_height) {
+  validate_lr_params(params_);
+}
+
+std::unique_ptr<proto::SchemeState> Publisher::prepare(const Bytes& image) {
+  LRS_CHECK_MSG(!image.empty(), "cannot disseminate an empty image");
+  return make_lr_source(params_, image, signer_);
+}
+
+std::function<std::unique_ptr<proto::SchemeState>(Version)>
+lr_scheme_factory(proto::CommonParams params,
+                  crypto::PacketHash root_public_key) {
+  return [params, root_public_key](Version v) {
+    proto::CommonParams p = params;
+    p.version = v;
+    return make_lr_receiver(p, root_public_key);
+  };
+}
+
+Receiver::Receiver(proto::CommonParams params,
+                   const crypto::PacketHash& root_public_key)
+    : state_(make_lr_receiver(params, root_public_key)) {}
+
+bool Receiver::feed_signature(ByteView frame) {
+  return state_->on_signature(frame, metrics_);
+}
+
+proto::DataStatus Receiver::feed_data(std::uint32_t page, std::uint32_t index,
+                                      ByteView payload) {
+  return state_->on_data(page, index, payload, metrics_);
+}
+
+}  // namespace lrs::core

@@ -1,0 +1,107 @@
+// LR-Seluge public API.
+//
+// Two ways to use the library:
+//
+//  1. Standalone (no simulator): Publisher preprocesses and signs a code
+//     image; Receiver authenticates packets and incrementally decodes. The
+//     caller moves packets between them over any transport. See
+//     examples/quickstart.cpp.
+//
+//  2. Simulated network: build proto::DissemNode instances around
+//     make_lr_source / make_lr_receiver scheme states and attach them to a
+//     sim::Simulator. See examples/multihop_grid.cpp and bench/.
+//
+// All parameters (erasure-code instances, packet sizes, keys) come from
+// proto::CommonParams — the material the network owner preloads on nodes
+// before deployment (paper §IV-B).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/lr_image.h"
+#include "crypto/wots.h"
+#include "proto/engine.h"
+#include "proto/params.h"
+
+namespace lrs::core {
+
+/// Base-station side: owns the signing key material and turns raw images
+/// into dissemination-ready state.
+class Publisher {
+ public:
+  /// `key_seed` seeds the hash-based multi-key signer; `key_height` fixes
+  /// the number of images one preloaded root can cover (2^height).
+  Publisher(proto::CommonParams params, ByteView key_seed,
+            std::size_t key_height = 4);
+
+  /// Preloaded on every sensor node: verifies all future image signatures.
+  const crypto::PacketHash& root_public_key() const {
+    return signer_.root_public_key();
+  }
+
+  const proto::CommonParams& params() const { return params_; }
+
+  /// Preprocesses and signs an image (consumes one one-time key). The
+  /// returned scheme state holds every packet of every page plus the
+  /// signature frame, ready to serve.
+  std::unique_ptr<proto::SchemeState> prepare(const Bytes& image);
+
+  /// Signatures still available.
+  std::size_t signatures_left() const {
+    return signer_.capacity() - signer_.signatures_issued();
+  }
+
+  crypto::MultiKeySigner& signer() { return signer_; }
+
+ private:
+  proto::CommonParams params_;
+  crypto::MultiKeySigner signer_;
+};
+
+/// Receiver-state factory for multi-image deployments: plugged into
+/// proto::EngineConfig::scheme_factory, it lets a node adopt any newer
+/// image version whose signature verifies under the preloaded root.
+std::function<std::unique_ptr<proto::SchemeState>(Version)>
+lr_scheme_factory(proto::CommonParams params,
+                  crypto::PacketHash root_public_key);
+
+/// Node-side convenience wrapper around the LR-Seluge scheme state for
+/// transport-agnostic use.
+class Receiver {
+ public:
+  Receiver(proto::CommonParams params,
+           const crypto::PacketHash& root_public_key);
+
+  /// Feed the signature frame; true once the root verified.
+  bool feed_signature(ByteView frame);
+
+  /// Feed one data packet (any order within the current page). Returns the
+  /// authentication/decode outcome.
+  proto::DataStatus feed_data(std::uint32_t page, std::uint32_t index,
+                              ByteView payload);
+
+  bool bootstrapped() const { return state_->bootstrapped(); }
+  std::uint32_t pages_complete() const { return state_->pages_complete(); }
+  std::uint32_t total_pages() const { return state_->num_pages(); }
+  bool complete() const { return state_->image_complete(); }
+  /// The recovered image (only when complete()).
+  Bytes image() const { return state_->assemble_image(); }
+
+  /// Which packets of the current page to request (SNACK bitmap).
+  BitVec request_bits() const {
+    return state_->request_bits(state_->pages_complete());
+  }
+
+  /// Verification-work counters accumulated by this receiver.
+  const sim::NodeMetrics& metrics() const { return metrics_; }
+
+  /// Access to the underlying scheme state (serving, advanced use).
+  proto::SchemeState& state() { return *state_; }
+
+ private:
+  std::unique_ptr<proto::SchemeState> state_;
+  sim::NodeMetrics metrics_;
+};
+
+}  // namespace lrs::core

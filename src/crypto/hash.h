@@ -1,0 +1,38 @@
+// Digest types used by the dissemination protocols.
+//
+// Seluge and LR-Seluge embed per-packet hash images inside packets, so the
+// hash length directly costs airtime. Following Seluge, packet hashes are
+// truncated to 64 bits (kPacketHashSize); the Merkle tree and signatures use
+// full-length digests internally but the tree is built over truncated node
+// values to keep page-0 packets small, matching the paper's byte budget.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/sha256.h"
+#include "util/types.h"
+
+namespace lrs::crypto {
+
+/// Truncated packet-hash length in bytes (64-bit, as in Seluge).
+inline constexpr std::size_t kPacketHashSize = 8;
+
+using PacketHash = std::array<std::uint8_t, kPacketHashSize>;
+
+/// SHA-256 truncated to the first kPacketHashSize bytes.
+PacketHash packet_hash(ByteView data);
+
+/// Constant-time-ish comparison (not security-critical in a simulator, but
+/// the library should model good practice).
+bool equal(const PacketHash& a, const PacketHash& b);
+bool equal(const Sha256Digest& a, const Sha256Digest& b);
+
+/// Append helpers for building hash-chained payloads.
+void append(Bytes& out, const PacketHash& h);
+void append(Bytes& out, const Sha256Digest& h);
+
+/// Reads a PacketHash at byte offset `off` (bounds-checked).
+PacketHash read_packet_hash(ByteView data, std::size_t off);
+
+}  // namespace lrs::crypto

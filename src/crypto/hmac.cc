@@ -1,0 +1,48 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+
+namespace lrs::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k{};  // zero-padded
+  if (key.size() > kBlock) {
+    const Sha256Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad, opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ByteView(ipad.data(), ipad.size())).update(message);
+  const Sha256Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(ByteView(opad.data(), opad.size()))
+      .update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+ControlMac control_mac(ByteView key, ByteView message) {
+  const Sha256Digest full = hmac_sha256(key, message);
+  ControlMac mac;
+  std::copy_n(full.begin(), kControlMacSize, mac.begin());
+  return mac;
+}
+
+bool verify_control_mac(ByteView key, ByteView message,
+                        const ControlMac& mac) {
+  const ControlMac expect = control_mac(key, message);
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < kControlMacSize; ++i) acc |= expect[i] ^ mac[i];
+  return acc == 0;
+}
+
+}  // namespace lrs::crypto

@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// Used for the cluster-key authentication of advertisement and SNACK packets
+// (Seluge §IV and LR-Seluge §IV-E adopt the same mechanism) and for keyed
+// derivations inside WOTS key generation.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/types.h"
+
+namespace lrs::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message);
+
+/// Truncated 4-byte MAC as carried by control packets (advertisements and
+/// SNACKs are short; sensor-network MACs are conventionally 4 bytes).
+inline constexpr std::size_t kControlMacSize = 4;
+using ControlMac = std::array<std::uint8_t, kControlMacSize>;
+
+ControlMac control_mac(ByteView key, ByteView message);
+bool verify_control_mac(ByteView key, ByteView message, const ControlMac& mac);
+
+}  // namespace lrs::crypto

@@ -1,0 +1,73 @@
+#include "crypto/merkle.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace lrs::crypto {
+
+namespace {
+constexpr std::uint8_t kLeafTag = 0x00;
+constexpr std::uint8_t kNodeTag = 0x01;
+}  // namespace
+
+PacketHash MerkleTree::leaf_hash(ByteView leaf_data) {
+  Bytes buf;
+  buf.reserve(leaf_data.size() + 1);
+  buf.push_back(kLeafTag);
+  buf.insert(buf.end(), leaf_data.begin(), leaf_data.end());
+  return packet_hash(view(buf));
+}
+
+PacketHash MerkleTree::node_hash(const PacketHash& left,
+                                 const PacketHash& right) {
+  Bytes buf;
+  buf.reserve(1 + 2 * kPacketHashSize);
+  buf.push_back(kNodeTag);
+  buf.insert(buf.end(), left.begin(), left.end());
+  buf.insert(buf.end(), right.begin(), right.end());
+  return packet_hash(view(buf));
+}
+
+MerkleTree MerkleTree::build(const std::vector<Bytes>& leaves) {
+  LRS_CHECK_MSG(!leaves.empty(), "Merkle tree needs at least one leaf");
+  LRS_CHECK_MSG(std::has_single_bit(leaves.size()),
+                "Merkle leaf count must be a power of two");
+
+  MerkleTree t;
+  t.leaf_count_ = leaves.size();
+  t.depth_ = static_cast<std::size_t>(std::countr_zero(leaves.size()));
+  t.nodes_.resize(2 * t.leaf_count_);
+
+  for (std::size_t i = 0; i < t.leaf_count_; ++i) {
+    t.nodes_[t.leaf_count_ + i] = leaf_hash(view(leaves[i]));
+  }
+  for (std::size_t i = t.leaf_count_; i-- > 1;) {
+    t.nodes_[i] = node_hash(t.nodes_[2 * i], t.nodes_[2 * i + 1]);
+  }
+  return t;
+}
+
+std::vector<PacketHash> MerkleTree::auth_path(std::size_t index) const {
+  LRS_CHECK(index < leaf_count_);
+  std::vector<PacketHash> path;
+  path.reserve(depth_);
+  std::size_t node = leaf_count_ + index;
+  while (node > 1) {
+    path.push_back(nodes_[node ^ 1]);  // sibling
+    node /= 2;
+  }
+  return path;
+}
+
+PacketHash MerkleTree::compute_root(ByteView leaf_data, std::size_t index,
+                                    std::span<const PacketHash> path) {
+  PacketHash h = leaf_hash(leaf_data);
+  for (const auto& sib : path) {
+    h = (index & 1) ? node_hash(sib, h) : node_hash(h, sib);
+    index >>= 1;
+  }
+  return h;
+}
+
+}  // namespace lrs::crypto

@@ -1,0 +1,37 @@
+// Message-specific puzzle: the weak authenticator attached to signature
+// packets (Seluge / LR-Seluge §IV-C.3).
+//
+// Verifying a digital signature is expensive for a sensor node, so an
+// adversary could flood forged signature packets to drain batteries. The
+// base station therefore solves a moderately hard hash puzzle over the
+// signature packet: it finds a solution s such that H(message || s) ends in
+// `strength` zero bits. Receivers check the puzzle with a single hash and
+// only verify the signature if the puzzle holds — forging a packet that even
+// reaches signature verification costs the adversary ~2^strength hashes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/types.h"
+
+namespace lrs::crypto {
+
+struct PuzzleSolution {
+  std::uint8_t strength = 0;  // required zero bits
+  std::uint64_t solution = 0;
+
+  static constexpr std::size_t kSerializedSize = 9;
+  Bytes serialize() const;
+  static std::optional<PuzzleSolution> deserialize(ByteView data);
+};
+
+/// Brute-forces a solution (expected 2^strength hash evaluations; the base
+/// station has abundant resources). strength <= 30 keeps tests fast.
+PuzzleSolution solve_puzzle(ByteView message, std::uint8_t strength);
+
+/// One hash evaluation; cheap enough to run on every received signature
+/// packet.
+bool verify_puzzle(ByteView message, const PuzzleSolution& s);
+
+}  // namespace lrs::crypto

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the single cryptographic hash underlying every authenticator in
+// the system: packet hash chains, the hash page, the Merkle tree, HMAC,
+// WOTS signatures and the message-specific puzzle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace lrs::crypto {
+
+/// A full 256-bit digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental hashing context.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(ByteView data);
+  /// Finalizes and returns the digest. The context must not be reused after.
+  Sha256Digest finalize();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace lrs::crypto

@@ -1,0 +1,185 @@
+#include "crypto/wots.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "util/buffer.h"
+#include "util/check.h"
+
+namespace lrs::crypto {
+
+namespace {
+
+using Chain = std::array<std::uint8_t, kWotsChainBytes>;
+
+/// One application of the chaining function.
+Chain chain_step(const Chain& in) {
+  const Sha256Digest d = Sha256::hash(ByteView(in.data(), in.size()));
+  Chain out;
+  std::copy_n(d.begin(), kWotsChainBytes, out.begin());
+  return out;
+}
+
+/// Applies the chaining function `steps` times.
+Chain chain(Chain v, unsigned steps) {
+  for (unsigned i = 0; i < steps; ++i) v = chain_step(v);
+  return v;
+}
+
+/// Message digest -> len1 byte chunks + len2 checksum chunks, all in [0,255].
+std::array<unsigned, kWotsLen> message_chunks(ByteView message) {
+  const Sha256Digest d = Sha256::hash(message);
+  std::array<unsigned, kWotsLen> chunks{};
+  unsigned checksum = 0;
+  for (std::size_t i = 0; i < kWotsLen1; ++i) {
+    chunks[i] = d[i];
+    checksum += 255 - d[i];
+  }
+  // checksum <= 16 * 255 = 4080, fits in two base-256 digits.
+  chunks[kWotsLen1] = (checksum >> 8) & 0xff;
+  chunks[kWotsLen1 + 1] = checksum & 0xff;
+  return chunks;
+}
+
+WotsPublicKey compress_tops(
+    const std::array<Chain, kWotsLen>& tops) {
+  Sha256 h;
+  for (const auto& t : tops) h.update(ByteView(t.data(), t.size()));
+  return h.finalize();
+}
+
+}  // namespace
+
+Bytes WotsSignature::serialize() const {
+  Bytes out;
+  out.reserve(kSerializedSize);
+  for (const auto& c : chains) out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+std::optional<WotsSignature> WotsSignature::deserialize(ByteView data) {
+  if (data.size() < kSerializedSize) return std::nullopt;
+  WotsSignature sig;
+  std::size_t off = 0;
+  for (auto& c : sig.chains) {
+    std::memcpy(c.data(), data.data() + off, kWotsChainBytes);
+    off += kWotsChainBytes;
+  }
+  return sig;
+}
+
+WotsKeyPair WotsKeyPair::generate(ByteView seed, std::uint64_t index) {
+  WotsKeyPair kp;
+  std::array<Chain, kWotsLen> tops;
+  for (std::size_t i = 0; i < kWotsLen; ++i) {
+    // sk_i = HMAC(seed, index || i): deterministic, independent per chain.
+    Writer w;
+    w.u64(index);
+    w.u64(i);
+    const Sha256Digest d = hmac_sha256(seed, view(w.data()));
+    std::copy_n(d.begin(), kWotsChainBytes, kp.sk_[i].begin());
+    tops[i] = chain(kp.sk_[i], 255);
+  }
+  kp.pk_ = compress_tops(tops);
+  return kp;
+}
+
+WotsSignature WotsKeyPair::sign(ByteView message) {
+  LRS_CHECK_MSG(!used_, "WOTS key reuse would forfeit security");
+  used_ = true;
+  const auto chunks = message_chunks(message);
+  WotsSignature sig;
+  for (std::size_t i = 0; i < kWotsLen; ++i) {
+    sig.chains[i] = chain(sk_[i], chunks[i]);
+  }
+  return sig;
+}
+
+bool WotsKeyPair::verify(const WotsPublicKey& pk, ByteView message,
+                         const WotsSignature& sig) {
+  const auto chunks = message_chunks(message);
+  std::array<Chain, kWotsLen> tops;
+  for (std::size_t i = 0; i < kWotsLen; ++i) {
+    tops[i] = chain(sig.chains[i], 255 - chunks[i]);
+  }
+  return equal(compress_tops(tops), pk);
+}
+
+Bytes CertifiedSignature::serialize() const {
+  Writer w;
+  w.u32(key_index);
+  w.bytes(ByteView(wots_pk.data(), wots_pk.size()));
+  w.u8(static_cast<std::uint8_t>(cert_path.size()));
+  for (const auto& h : cert_path) w.bytes(ByteView(h.data(), h.size()));
+  w.bytes(view(sig.serialize()));
+  return std::move(w).take();
+}
+
+std::optional<CertifiedSignature> CertifiedSignature::deserialize(
+    ByteView data) {
+  Reader r(data);
+  CertifiedSignature out;
+  auto idx = r.try_u32();
+  if (!idx) return std::nullopt;
+  out.key_index = *idx;
+  auto pk = r.try_bytes(out.wots_pk.size());
+  if (!pk) return std::nullopt;
+  std::copy(pk->begin(), pk->end(), out.wots_pk.begin());
+  auto depth = r.try_u8();
+  if (!depth || *depth > 32) return std::nullopt;
+  for (unsigned i = 0; i < *depth; ++i) {
+    auto h = r.try_bytes(kPacketHashSize);
+    if (!h) return std::nullopt;
+    PacketHash ph;
+    std::copy(h->begin(), h->end(), ph.begin());
+    out.cert_path.push_back(ph);
+  }
+  auto sig_bytes = r.try_bytes(WotsSignature::kSerializedSize);
+  if (!sig_bytes) return std::nullopt;
+  auto sig = WotsSignature::deserialize(view(*sig_bytes));
+  if (!sig) return std::nullopt;
+  out.sig = *sig;
+  return out;
+}
+
+MultiKeySigner::MultiKeySigner(ByteView seed, std::size_t height)
+    : tree_(MerkleTree::build([&] {
+        LRS_CHECK(height <= 16);
+        std::vector<Bytes> leaves;
+        const std::size_t count = std::size_t{1} << height;
+        leaves.reserve(count);
+        keys_.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          keys_.push_back(WotsKeyPair::generate(seed, i));
+          const auto& pk = keys_.back().public_key();
+          leaves.emplace_back(pk.begin(), pk.end());
+        }
+        return leaves;
+      }())) {}
+
+CertifiedSignature MultiKeySigner::sign(ByteView message) {
+  if (next_ >= keys_.size())
+    throw std::runtime_error("MultiKeySigner: all one-time keys consumed");
+  CertifiedSignature out;
+  out.key_index = static_cast<std::uint32_t>(next_);
+  out.wots_pk = keys_[next_].public_key();
+  out.cert_path = tree_.auth_path(next_);
+  out.sig = keys_[next_].sign(message);
+  ++next_;
+  return out;
+}
+
+bool MultiKeySigner::verify(const PacketHash& root_public_key,
+                            ByteView message, const CertifiedSignature& sig) {
+  // 1. The WOTS public key must be certified under the preloaded root.
+  const PacketHash root = MerkleTree::compute_root(
+      ByteView(sig.wots_pk.data(), sig.wots_pk.size()), sig.key_index,
+      sig.cert_path);
+  if (!equal(root, root_public_key)) return false;
+  // 2. The WOTS signature must verify under that key.
+  return WotsKeyPair::verify(sig.wots_pk, message, sig.sig);
+}
+
+}  // namespace lrs::crypto

@@ -1,0 +1,29 @@
+#include "erasure/code.h"
+
+namespace lrs::erasure {
+
+std::optional<CodecKind> parse_codec_kind(const std::string& name) {
+  if (name == "rs") return CodecKind::kReedSolomon;
+  if (name == "rlc2") return CodecKind::kRlcGf2;
+  if (name == "rlc256") return CodecKind::kRlcGf256;
+  if (name == "lt") return CodecKind::kLt;
+  return std::nullopt;
+}
+
+std::unique_ptr<ErasureCode> make_code(CodecKind kind, std::size_t k,
+                                       std::size_t n, std::size_t delta,
+                                       std::uint64_t seed) {
+  switch (kind) {
+    case CodecKind::kReedSolomon:
+      return make_rs_code(k, n);
+    case CodecKind::kRlcGf2:
+      return make_rlc_gf2(k, n, delta, seed);
+    case CodecKind::kRlcGf256:
+      return make_rlc_gf256(k, n, delta, seed);
+    case CodecKind::kLt:
+      return make_lt_code(k, n, delta, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace lrs::erasure

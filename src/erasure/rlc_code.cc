@@ -1,0 +1,229 @@
+// Systematic random linear codes with seed-derived parity rows.
+//
+// Encoded block i < k is original block i; encoded block k+r is a
+// pseudorandom linear combination of the originals whose coefficients are
+// derived from (seed, r) — every node holding the same preloaded seed
+// regenerates identical packets, which is what lets LR-Seluge hash-chain
+// them. GF(2) rows are dense random bit vectors (an XOR-only code a mote
+// could run); GF(256) rows are random bytes (near-MDS). Decoding is
+// Gaussian elimination over the received coefficient rows; it succeeds when
+// they reach rank k, which is why the nominal threshold k' exceeds k.
+#include <algorithm>
+
+#include "erasure/code.h"
+#include "erasure/gf256.h"
+#include "erasure/matrix.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lrs::erasure {
+
+namespace {
+
+std::uint64_t row_seed(std::uint64_t seed, std::size_t row) {
+  // splitmix-style mix so adjacent rows decorrelate.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (row + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class RlcGf2Code final : public ErasureCode {
+ public:
+  RlcGf2Code(std::size_t k, std::size_t n, std::size_t delta,
+             std::uint64_t seed)
+      : k_(k), n_(n), delta_(delta) {
+    LRS_CHECK_MSG(k >= 1 && k <= n, "RLC requires 1 <= k <= n");
+    LRS_CHECK(k + delta <= n || delta == 0 || k == n);
+    parity_rows_.reserve(n - k);
+    for (std::size_t r = 0; r + k_ < n_; ++r) {
+      Rng rng(row_seed(seed, r));
+      BitVec row(k_);
+      do {
+        for (std::size_t j = 0; j < k_; ++j) row.set(j, rng.bernoulli(0.5));
+      } while (row.none());
+      parity_rows_.push_back(std::move(row));
+    }
+  }
+
+  std::size_t k() const override { return k_; }
+  std::size_t n() const override { return n_; }
+  std::size_t decode_threshold() const override {
+    return std::min(n_, k_ + delta_);
+  }
+  std::string name() const override { return "rlc2"; }
+
+  std::vector<Bytes> encode(const std::vector<Bytes>& blocks) const override {
+    LRS_CHECK(blocks.size() == k_);
+    const std::size_t len = blocks.front().size();
+    for (const auto& b : blocks) LRS_CHECK(b.size() == len);
+
+    std::vector<Bytes> out;
+    out.reserve(n_);
+    for (const auto& b : blocks) out.push_back(b);
+    for (const auto& row : parity_rows_) {
+      Bytes e(len, 0);
+      for (std::size_t j = 0; j < k_; ++j) {
+        if (!row.get(j)) continue;
+        for (std::size_t b = 0; b < len; ++b) e[b] ^= blocks[j][b];
+      }
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  std::optional<std::vector<Bytes>> decode(
+      const std::vector<Share>& shares) const override {
+    if (shares.empty()) return std::nullopt;
+    const std::size_t len = shares.front().data.size();
+    Gf2Eliminator elim(k_, len);
+    std::vector<bool> seen(n_, false);
+    for (const auto& s : shares) {
+      LRS_CHECK(s.index < n_);
+      LRS_CHECK(s.data.size() == len);
+      if (seen[s.index]) continue;
+      seen[s.index] = true;
+      elim.add(coeff_row(s.index), view(s.data));
+      if (elim.complete()) return elim.solve();
+    }
+    return std::nullopt;
+  }
+
+ private:
+  BitVec coeff_row(std::size_t index) const {
+    if (index < k_) {
+      BitVec unit(k_);
+      unit.set(index);
+      return unit;
+    }
+    return parity_rows_[index - k_];
+  }
+
+  std::size_t k_, n_, delta_;
+  std::vector<BitVec> parity_rows_;
+};
+
+class RlcGf256Code final : public ErasureCode {
+ public:
+  RlcGf256Code(std::size_t k, std::size_t n, std::size_t delta,
+               std::uint64_t seed)
+      : k_(k), n_(n), delta_(delta), generator_(n, k) {
+    LRS_CHECK_MSG(k >= 1 && k <= n, "RLC requires 1 <= k <= n");
+    for (std::size_t i = 0; i < k_; ++i) generator_.set(i, i, 1);
+    for (std::size_t r = 0; r + k_ < n_; ++r) {
+      Rng rng(row_seed(seed, r));
+      bool nonzero = false;
+      do {
+        for (std::size_t j = 0; j < k_; ++j) {
+          const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+          generator_.set(k_ + r, j, c);
+          nonzero = nonzero || c != 0;
+        }
+      } while (!nonzero);
+    }
+  }
+
+  std::size_t k() const override { return k_; }
+  std::size_t n() const override { return n_; }
+  std::size_t decode_threshold() const override {
+    return std::min(n_, k_ + delta_);
+  }
+  std::string name() const override { return "rlc256"; }
+
+  std::vector<Bytes> encode(const std::vector<Bytes>& blocks) const override {
+    LRS_CHECK(blocks.size() == k_);
+    const std::size_t len = blocks.front().size();
+    for (const auto& b : blocks) LRS_CHECK(b.size() == len);
+
+    std::vector<Bytes> out;
+    out.reserve(n_);
+    for (const auto& b : blocks) out.push_back(b);
+    for (std::size_t r = k_; r < n_; ++r) {
+      Bytes e(len, 0);
+      for (std::size_t j = 0; j < k_; ++j) {
+        Gf256::addmul(MutByteView(e.data(), e.size()), view(blocks[j]),
+                      generator_.at(r, j));
+      }
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  std::optional<std::vector<Bytes>> decode(
+      const std::vector<Share>& shares) const override {
+    // Gather distinct shares.
+    std::vector<const Share*> picked;
+    std::vector<bool> seen(n_, false);
+    for (const auto& s : shares) {
+      LRS_CHECK(s.index < n_);
+      if (seen[s.index]) continue;
+      seen[s.index] = true;
+      picked.push_back(&s);
+    }
+    if (picked.size() < k_) return std::nullopt;
+    const std::size_t len = picked.front()->data.size();
+
+    // Augmented Gaussian elimination over all received rows.
+    const std::size_t m = picked.size();
+    MatrixGf256 a(m, k_);
+    std::vector<Bytes> payload(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      LRS_CHECK(picked[r]->data.size() == len);
+      for (std::size_t c = 0; c < k_; ++c)
+        a.set(r, c, generator_.at(picked[r]->index, c));
+      payload[r] = picked[r]->data;
+    }
+
+    std::size_t rank = 0;
+    std::vector<std::size_t> pivot_row(k_);
+    for (std::size_t col = 0; col < k_; ++col) {
+      std::size_t pr = rank;
+      while (pr < m && a.at(pr, col) == 0) ++pr;
+      if (pr == m) return std::nullopt;  // rank deficient in this column
+      if (pr != rank) {
+        for (std::size_t c = 0; c < k_; ++c)
+          std::swap(a.row(rank)[c], a.row(pr)[c]);
+        std::swap(payload[rank], payload[pr]);
+      }
+      const std::uint8_t pinv = Gf256::inv(a.at(rank, col));
+      Gf256::scale(a.row(rank), pinv);
+      Gf256::scale(MutByteView(payload[rank].data(), len), pinv);
+      for (std::size_t r = 0; r < m; ++r) {
+        if (r == rank) continue;
+        const std::uint8_t f = a.at(r, col);
+        if (f != 0) {
+          Gf256::addmul(a.row(r), a.row(rank), f);
+          Gf256::addmul(MutByteView(payload[r].data(), len),
+                        view(payload[rank]), f);
+        }
+      }
+      pivot_row[col] = rank;
+      ++rank;
+    }
+
+    std::vector<Bytes> out(k_);
+    for (std::size_t col = 0; col < k_; ++col)
+      out[col] = std::move(payload[pivot_row[col]]);
+    return out;
+  }
+
+ private:
+  std::size_t k_, n_, delta_;
+  MatrixGf256 generator_;
+};
+
+}  // namespace
+
+std::unique_ptr<ErasureCode> make_rlc_gf2(std::size_t k, std::size_t n,
+                                          std::size_t delta,
+                                          std::uint64_t seed) {
+  return std::make_unique<RlcGf2Code>(k, n, delta, seed);
+}
+
+std::unique_ptr<ErasureCode> make_rlc_gf256(std::size_t k, std::size_t n,
+                                            std::size_t delta,
+                                            std::uint64_t seed) {
+  return std::make_unique<RlcGf256Code>(k, n, delta, seed);
+}
+
+}  // namespace lrs::erasure

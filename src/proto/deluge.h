@@ -1,0 +1,28 @@
+// Deluge (Hui & Culler, SenSys'04): the non-secure ARQ baseline.
+//
+// The image is split into g pages of k packets each; a receiver needs every
+// packet of a page before moving on. There is no authentication of any
+// kind: any well-formed data packet is stored — which is exactly the attack
+// surface Seluge/LR-Seluge close.
+//
+// Receivers are constructed with the image size (in a real deployment the
+// metadata rides in advertisements; carrying it out of band keeps the
+// baseline comparable without modelling Deluge's profile packets).
+#pragma once
+
+#include <memory>
+
+#include "proto/params.h"
+#include "proto/scheme.h"
+
+namespace lrs::proto {
+
+/// Base-station side: the full image.
+std::unique_ptr<SchemeState> make_deluge_source(const CommonParams& params,
+                                                const Bytes& image);
+
+/// Receiver side: geometry only.
+std::unique_ptr<SchemeState> make_deluge_receiver(const CommonParams& params,
+                                                  std::size_t image_size);
+
+}  // namespace lrs::proto

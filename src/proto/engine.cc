@@ -1,0 +1,580 @@
+#include "proto/engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace lrs::proto {
+
+using sim::SimTime;
+
+DissemNode::DissemNode(sim::Env& env, std::unique_ptr<SchemeState> scheme,
+                       EngineConfig config, Bytes cluster_key)
+    : sim::Node(env),
+      scheme_(std::move(scheme)),
+      cfg_(config),
+      cluster_key_(std::move(cluster_key)),
+      trickle_(cfg_.timing.trickle, &env.rng()) {
+  LRS_CHECK(scheme_ != nullptr);
+}
+
+SimTime DissemNode::rand_delay(SimTime max) {
+  if (max <= 0) return 0;
+  return static_cast<SimTime>(
+      env().rng().uniform(static_cast<std::uint64_t>(max)));
+}
+
+void DissemNode::on_start() {
+  if (cfg_.is_base_station) {
+    if (scheme_->image_complete()) env().notify_complete();
+    if (scheme_->signature_frame().has_value()) {
+      env().schedule(cfg_.timing.signature_boot_delay, [this] {
+        maybe_broadcast_signature();
+      });
+    }
+  }
+  trickle_restart();
+}
+
+// --------------------------------------------------------------------------
+// Advertisements / Trickle
+// --------------------------------------------------------------------------
+
+void DissemNode::trickle_restart() {
+  trickle_.reset(env().now());
+  arm_adv_fire();
+}
+
+void DissemNode::arm_adv_fire() {
+  env().cancel(adv_token_);
+  adv_token_ = env().schedule(trickle_.fire_time() - env().now(),
+                              [this] { on_adv_fire(); });
+}
+
+void DissemNode::on_adv_fire() {
+  if (trickle_.should_broadcast()) send_advertisement();
+  env().cancel(adv_token_);
+  const SimTime wait = std::max<SimTime>(0, trickle_.interval_end() - env().now());
+  adv_token_ = env().schedule(wait, [this] { on_adv_interval_end(); });
+}
+
+void DissemNode::on_adv_interval_end() {
+  trickle_.next_interval(env().now());
+  arm_adv_fire();
+}
+
+void DissemNode::send_advertisement() {
+  Advertisement adv;
+  adv.version = scheme_->version();
+  adv.sender = env().id();
+  adv.pages_complete = scheme_->pages_complete();
+  adv.bootstrapped = scheme_->bootstrapped();
+  env().broadcast(sim::PacketClass::kAdvertisement,
+                  adv.serialize(view(cluster_key_)));
+}
+
+// --------------------------------------------------------------------------
+// Frame dispatch
+// --------------------------------------------------------------------------
+
+void DissemNode::on_receive(ByteView frame) {
+  const auto type = peek_type(frame);
+  if (!type) return;
+  switch (*type) {
+    case PacketType::kAdvertisement: {
+      auto adv = Advertisement::parse(frame, view(cluster_key_));
+      if (!adv) {
+        env().metrics().auth_failures += 1;
+        return;
+      }
+      if (adv->version != scheme_->version()) {
+        // A neighbor runs a NEWER image: fetch its signature packet to
+        // verify and adopt it (never move backwards).
+        if (cfg_.scheme_factory && adv->version > scheme_->version() &&
+            adv->bootstrapped) {
+          trickle_restart();
+          request_signature_from(adv->sender, adv->version);
+        }
+        return;
+      }
+      handle_advertisement(*adv);
+      return;
+    }
+    case PacketType::kSnack: {
+      // Under LEAP-style auth the MAC key is the claimed sender's own key,
+      // so a verified SNACK also authenticates WHO sent it.
+      std::optional<Snack> snack;
+      if (cfg_.leap_snack_auth) {
+        const auto sender = Snack::peek_sender(frame);
+        if (!sender) return;
+        const Bytes key = leap_source_key(view(cfg_.leap_master), *sender);
+        snack = Snack::parse(frame, view(key));
+      } else {
+        snack = Snack::parse(frame, view(cluster_key_));
+      }
+      if (!snack || snack->version != scheme_->version()) {
+        if (!snack) env().metrics().auth_failures += 1;
+        return;
+      }
+      handle_snack(*snack);
+      return;
+    }
+    case PacketType::kData: {
+      auto data = DataPacket::parse(frame);
+      if (!data || data->version != scheme_->version()) return;
+      handle_data(*data);
+      return;
+    }
+    case PacketType::kSignature:
+      handle_signature_frame(frame);
+      return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Advertisement handling
+// --------------------------------------------------------------------------
+
+void DissemNode::handle_advertisement(const Advertisement& adv) {
+  auto& info = neighbors_[adv.sender];
+  info.pages_complete = adv.pages_complete;
+  info.bootstrapped = adv.bootstrapped;
+  info.last_heard = env().now();
+
+  const std::uint32_t mine = scheme_->pages_complete();
+  const bool consistent = adv.pages_complete == mine &&
+                          adv.bootstrapped == scheme_->bootstrapped();
+  if (consistent) {
+    trickle_.heard_consistent();
+  } else {
+    trickle_restart();
+  }
+
+  if (!scheme_->bootstrapped()) {
+    if (adv.bootstrapped) maybe_request_signature();
+    return;
+  }
+  if (adv.pages_complete > mine && !scheme_->image_complete()) consider_rx();
+}
+
+// --------------------------------------------------------------------------
+// RX
+// --------------------------------------------------------------------------
+
+void DissemNode::consider_rx() {
+  if (state_ != NodeState::kMaintain) return;
+  if (scheme_->image_complete()) return;
+  if (!scheme_->bootstrapped()) {
+    maybe_request_signature();
+    return;
+  }
+  if (auto server = pick_server()) enter_rx(*server);
+}
+
+std::optional<NodeId> DissemNode::pick_server() const {
+  const std::uint32_t mine = scheme_->pages_complete();
+  std::optional<NodeId> best;
+  std::uint32_t best_pages = mine;
+  for (const auto& [id, info] : neighbors_) {
+    if (info.pages_complete > best_pages) {
+      best = id;
+      best_pages = info.pages_complete;
+    }
+  }
+  return best;
+}
+
+void DissemNode::enter_rx(NodeId target) {
+  state_ = NodeState::kRx;
+  rx_target_ = target;
+  rx_retries_ = 0;
+  rx_deadline_ = env().now() + cfg_.timing.max_snack_deferral;
+  arm_snack(rand_delay(cfg_.timing.snack_delay_max));
+}
+
+void DissemNode::leave_rx() {
+  env().cancel(rx_token_);
+  rx_token_ = nullptr;
+  state_ = NodeState::kMaintain;
+}
+
+void DissemNode::arm_snack(SimTime delay) {
+  // Deferrals may never push the request past the deadline; this bounds the
+  // damage of duplicate/old-page replay floods (see max_snack_deferral).
+  const SimTime latest = std::max<SimTime>(1, rx_deadline_ - env().now());
+  env().cancel(rx_token_);
+  rx_token_ = env().schedule(std::min(delay, latest),
+                             [this] { send_snack(); });
+}
+
+Bytes DissemNode::snack_tx_key() const {
+  if (cfg_.leap_snack_auth)
+    return leap_source_key(view(cfg_.leap_master), env().id());
+  return cluster_key_;
+}
+
+void DissemNode::send_snack() {
+  if (state_ != NodeState::kRx) return;
+  if (scheme_->image_complete()) {
+    leave_rx();
+    return;
+  }
+  const std::uint32_t page = scheme_->pages_complete();
+  Snack s;
+  s.version = scheme_->version();
+  s.sender = env().id();
+  s.target = rx_target_;
+  s.page = page;
+  s.requested = scheme_->request_bits(page);
+  env().broadcast(sim::PacketClass::kSnack,
+                  s.serialize(view(snack_tx_key())));
+
+  rx_deadline_ = env().now() + cfg_.timing.max_snack_deferral;
+  env().cancel(rx_token_);
+  rx_token_ = env().schedule(
+      cfg_.timing.snack_retry + rand_delay(cfg_.timing.snack_retry_jitter),
+      [this] { on_snack_retry(); });
+}
+
+void DissemNode::on_snack_retry() {
+  if (state_ != NodeState::kRx) return;
+  if (scheme_->image_complete()) {
+    leave_rx();
+    return;
+  }
+  ++rx_retries_;
+  if (rx_retries_ > cfg_.timing.max_snack_retries) {
+    // Give up on this server; drop its stale entry and look for another.
+    neighbors_.erase(rx_target_);
+    leave_rx();
+    trickle_restart();
+    consider_rx();
+    return;
+  }
+  send_snack();
+}
+
+// --------------------------------------------------------------------------
+// TX
+// --------------------------------------------------------------------------
+
+void DissemNode::handle_snack(const Snack& snack) {
+  if (snack.page == kSignatureRequestPage) {
+    if (snack.target == env().id()) maybe_broadcast_signature();
+    return;
+  }
+
+  if (snack.target != env().id()) {
+    // A neighbor requested an EARLIER page: hold our own request back so
+    // the neighborhood advances in lockstep (Deluge suppression). A
+    // request for the SAME page needs no suppression — the server merges
+    // concurrent requests into one burst.
+    if (state_ == NodeState::kRx && rx_token_ &&
+        snack.page < scheme_->pages_complete()) {
+      arm_snack(cfg_.timing.lockstep_delay +
+                rand_delay(cfg_.timing.snack_retry_jitter));
+    }
+    return;
+  }
+
+  // Addressed to us: can we serve the page?
+  if (snack.page >= scheme_->pages_complete()) return;
+  if (snack.requested.size() != scheme_->packets_in_page(snack.page)) return;
+  if (snack.requested.none()) return;
+
+  // Denial-of-receipt mitigation (§IV-E): cap the number of packets one
+  // neighbor can make us transmit for one page.
+  const std::size_t q = snack.requested.count();
+  const std::size_t kprime = scheme_->decode_threshold(snack.page);
+  const std::size_t npkts = scheme_->packets_in_page(snack.page);
+  const std::size_t needed =
+      q + kprime > npkts ? q + kprime - npkts : std::size_t{1};
+  if (cfg_.dor_mitigation) {
+    auto& used = dor_counters_[{snack.sender, snack.page}];
+    const std::size_t limit = cfg_.dor_limit_factor * kprime;
+    if (used >= limit) {
+      env().metrics().snacks_ignored += 1;
+      return;
+    }
+    used += std::min(needed, q);
+  }
+
+  LRS_LOG(kDebug) << "node " << env().id() << " snack from " << snack.sender
+                  << " page " << snack.page << " q=" << q << " needed="
+                  << needed << " t=" << env().now();
+  begin_or_merge_tx(snack);
+}
+
+void DissemNode::begin_or_merge_tx(const Snack& snack) {
+  const std::size_t q = snack.requested.count();
+  const std::size_t kprime = scheme_->decode_threshold(snack.page);
+  const std::size_t npkts = scheme_->packets_in_page(snack.page);
+  const std::size_t needed =
+      q + kprime > npkts ? q + kprime - npkts : std::size_t{1};
+
+  auto& session = tx_sessions_[snack.page];
+  if (!session) {
+    session = scheme_->make_scheduler(snack.page);
+    if (auto it = serve_rotation_.find(snack.page);
+        it != serve_rotation_.end()) {
+      session->set_start(it->second);
+    }
+  }
+  session->on_snack(snack.sender, snack.requested, needed);
+
+  if (state_ == NodeState::kTx) return;  // serve loop already running
+  if (state_ == NodeState::kRx) {
+    // Serving takes precedence; resume requesting afterwards.
+    env().cancel(rx_token_);
+    rx_token_ = nullptr;
+    rx_pending_resume_ = true;
+  }
+  state_ = NodeState::kTx;
+  env().cancel(tx_token_);
+  // Pool concurrent requests briefly so one burst serves them all.
+  tx_token_ = env().schedule(cfg_.timing.serve_aggregation +
+                                 rand_delay(cfg_.timing.data_gap),
+                             [this] { serve_next(); });
+}
+
+void DissemNode::serve_next() {
+  if (state_ != NodeState::kTx) return;
+  // Flow control: never run ahead of the radio, or receivers re-request
+  // packets that are still sitting in the MAC queue.
+  if (env().pending_tx() >= 2) {
+    env().cancel(tx_token_);
+    tx_token_ = env().schedule(cfg_.timing.data_gap, [this] { serve_next(); });
+    return;
+  }
+  // Drop drained sessions; always serve the lowest outstanding page
+  // (Deluge priority: earlier pages unblock more neighbors).
+  std::optional<std::uint32_t> idx;
+  std::uint32_t page = 0;
+  while (!tx_sessions_.empty()) {
+    auto it = tx_sessions_.begin();
+    idx = it->second->next_packet();
+    if (idx) {
+      page = it->first;
+      break;
+    }
+    tx_sessions_.erase(it);
+  }
+  if (!idx) {
+    leave_tx();
+    return;
+  }
+  auto payload = scheme_->packet_payload(page, *idx);
+  LRS_CHECK_MSG(payload.has_value(), "serving a page we do not have");
+  DataPacket d;
+  d.version = scheme_->version();
+  d.page = page;
+  d.index = *idx;
+  d.payload = *std::move(payload);
+  serve_rotation_[page] =
+      (*idx + 1) % static_cast<std::uint32_t>(scheme_->packets_in_page(page));
+  LRS_LOG(kDebug) << "node " << env().id() << " serves page " << page
+                  << " idx " << d.index << " t=" << env().now();
+  if (page == 0) env().metrics().page0_data_sent += 1;
+  env().broadcast(sim::PacketClass::kData, d.serialize());
+  env().cancel(tx_token_);
+  tx_token_ = env().schedule(cfg_.timing.data_gap, [this] { serve_next(); });
+}
+
+void DissemNode::leave_tx() {
+  env().cancel(tx_token_);
+  tx_token_ = nullptr;
+  tx_sessions_.clear();
+  state_ = NodeState::kMaintain;
+  if (rx_pending_resume_ && !scheme_->image_complete()) {
+    rx_pending_resume_ = false;
+    consider_rx();
+  } else {
+    rx_pending_resume_ = false;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Data
+// --------------------------------------------------------------------------
+
+void DissemNode::handle_data(const DataPacket& data) {
+  // TX-side data suppression: another server is covering this page.
+  if (state_ == NodeState::kTx) {
+    if (auto it = tx_sessions_.find(data.page); it != tx_sessions_.end()) {
+      it->second->on_overheard_data(data.index);
+    }
+  }
+
+  const DataStatus status =
+      scheme_->on_data(data.page, data.index, view(data.payload),
+                       env().metrics());
+  LRS_LOG(kTrace) << "node " << env().id() << " data page " << data.page
+                  << " idx " << data.index << " status "
+                  << static_cast<int>(status) << " t=" << env().now();
+
+  if (state_ == NodeState::kRx) {
+    if (data.page == scheme_->pages_complete() &&
+        (status == DataStatus::kStored || status == DataStatus::kStale)) {
+      // The stream is flowing: plan to re-request the remainder shortly
+      // after it goes quiet (losses mean the burst rarely completes us).
+      arm_snack(cfg_.timing.stream_gap +
+                rand_delay(cfg_.timing.stream_gap_jitter));
+    } else if (data.page < scheme_->pages_complete() &&
+               scheme_->verify_stored_packet(data.page, data.index,
+                                             view(data.payload),
+                                             env().metrics())) {
+      // AUTHENTIC data for an EARLIER page: a straggling neighbor is being
+      // served. Requesting our next page now would fragment the server's
+      // bursts; hold back so the neighborhood advances in lockstep. Forged
+      // lower-page packets fail the (one-hash) check and cause no delay.
+      arm_snack(cfg_.timing.lockstep_delay +
+                rand_delay(cfg_.timing.snack_retry_jitter));
+    }
+  }
+
+  switch (status) {
+    case DataStatus::kPageComplete:
+      on_progress();
+      break;
+    case DataStatus::kImageComplete:
+      env().notify_complete();
+      on_progress();
+      break;
+    default:
+      break;
+  }
+}
+
+void DissemNode::on_progress() {
+  trickle_restart();
+  if (scheme_->image_complete()) {
+    if (state_ == NodeState::kRx) leave_rx();
+    return;
+  }
+  if (state_ == NodeState::kRx) {
+    // Keep pulling the next page, ideally from the same server.
+    rx_retries_ = 0;
+    const auto it = neighbors_.find(rx_target_);
+    const bool target_still_ahead =
+        it != neighbors_.end() &&
+        it->second.pages_complete > scheme_->pages_complete();
+    if (target_still_ahead) {
+      arm_snack(rand_delay(cfg_.timing.snack_delay_max));
+    } else {
+      leave_rx();
+      consider_rx();
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Signature bootstrap
+// --------------------------------------------------------------------------
+
+void DissemNode::maybe_request_signature() {
+  if (scheme_->bootstrapped() || sig_request_armed_) return;
+  // Need a bootstrapped neighbor to ask.
+  std::optional<NodeId> target;
+  for (const auto& [id, info] : neighbors_) {
+    if (info.bootstrapped) {
+      target = id;
+      break;
+    }
+  }
+  if (!target) return;
+  request_signature_from(*target, scheme_->version());
+}
+
+void DissemNode::request_signature_from(NodeId target, Version version) {
+  if (sig_request_armed_) return;
+  sig_request_armed_ = true;
+  env().cancel(sig_token_);
+  sig_token_ = env().schedule(
+      rand_delay(cfg_.timing.snack_delay_max) + 1,
+      [this, target, version] {
+        sig_request_armed_ = false;
+        // Still behind? (Either not bootstrapped, or the newer version has
+        // not been adopted yet.)
+        if (scheme_->version() >= version && scheme_->bootstrapped()) return;
+        Snack s;
+        s.version = version;
+        s.sender = env().id();
+        s.target = target;
+        s.page = kSignatureRequestPage;
+        env().broadcast(sim::PacketClass::kSnack,
+                        s.serialize(view(snack_tx_key())));
+      });
+}
+
+void DissemNode::maybe_broadcast_signature() {
+  auto frame = scheme_->signature_frame();
+  if (!frame) return;
+  if (last_sig_broadcast_ >= 0 &&
+      env().now() - last_sig_broadcast_ <
+          cfg_.timing.signature_rebroadcast_min_gap) {
+    return;
+  }
+  last_sig_broadcast_ = env().now();
+  env().broadcast(sim::PacketClass::kSignature, *std::move(frame));
+}
+
+void DissemNode::handle_signature_frame(ByteView frame) {
+  // Upgrade path: a signature packet for a newer version replaces the
+  // whole image state — but only after it verifies on a candidate built
+  // from the preloaded key material. Old/equal versions never displace
+  // the current image (downgrade protection).
+  if (cfg_.scheme_factory) {
+    const auto packet = SignaturePacket::parse(frame);
+    if (packet && packet->meta.version > scheme_->version()) {
+      auto candidate = cfg_.scheme_factory(packet->meta.version);
+      if (candidate && candidate->on_signature(frame, env().metrics())) {
+        adopt_scheme(std::move(candidate));
+      }
+      return;
+    }
+  }
+  if (!scheme_->needs_signature() || scheme_->bootstrapped()) return;
+  if (scheme_->on_signature(frame, env().metrics())) {
+    trickle_restart();
+    consider_rx();
+  }
+}
+
+void DissemNode::upgrade(std::unique_ptr<SchemeState> next) {
+  LRS_CHECK_MSG(next != nullptr, "upgrade needs a scheme");
+  LRS_CHECK_MSG(next->version() > scheme_->version(),
+                "image versions only move forward");
+  adopt_scheme(std::move(next));
+  if (cfg_.is_base_station && scheme_->signature_frame().has_value()) {
+    last_sig_broadcast_ = -1;
+    maybe_broadcast_signature();
+  }
+}
+
+void DissemNode::adopt_scheme(std::unique_ptr<SchemeState> next) {
+  scheme_ = std::move(next);
+  reset_protocol_state();
+  trickle_restart();
+  consider_rx();
+}
+
+void DissemNode::reset_protocol_state() {
+  env().cancel(rx_token_);
+  rx_token_ = nullptr;
+  env().cancel(tx_token_);
+  tx_token_ = nullptr;
+  env().cancel(sig_token_);
+  sig_token_ = nullptr;
+  tx_sessions_.clear();
+  state_ = NodeState::kMaintain;
+  rx_pending_resume_ = false;
+  rx_retries_ = 0;
+  sig_request_armed_ = false;
+  last_sig_broadcast_ = -1;
+  neighbors_.clear();      // stale: they referred to the old version
+  dor_counters_.clear();
+  serve_rotation_.clear();
+}
+
+}  // namespace lrs::proto

@@ -1,0 +1,133 @@
+// The shared page-by-page dissemination engine (Deluge §II-A semantics).
+//
+// Every node is in one of three states at any time (paper §IV-D):
+//   MAINTAIN — Trickle-paced advertisements of (version, pages complete);
+//   RX       — actively SNACK-requesting the next incomplete page from a
+//              chosen neighbor, with Deluge-style request suppression;
+//   TX       — serving a requested page, packet order chosen by the
+//              scheme's TxScheduler (union for Deluge/Seluge, greedy
+//              round-robin for LR-Seluge).
+//
+// Scheme-specific behavior — authentication, decoding, request bitmaps,
+// packet regeneration — lives behind SchemeState. The engine additionally
+// implements: signature-packet bootstrap (initial flood from the base
+// station plus on-demand rebroadcast to late neighbors), and the
+// denial-of-receipt mitigation of §IV-E (per-neighbor SNACK budgets).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "proto/packet.h"
+#include "proto/params.h"
+#include "proto/scheme.h"
+#include "sim/simulator.h"
+
+namespace lrs::proto {
+
+enum class NodeState { kMaintain, kRx, kTx };
+
+class DissemNode : public sim::Node {
+ public:
+  DissemNode(sim::Env& env, std::unique_ptr<SchemeState> scheme,
+             EngineConfig config, Bytes cluster_key);
+
+  void on_start() override;
+  void on_receive(ByteView frame) override;
+
+  /// Replaces the node's image state (base-station side of an upgrade:
+  /// the operator pushes a new, signed image into the network). Receivers
+  /// upgrade automatically via EngineConfig::scheme_factory when the new
+  /// version's signature packet verifies.
+  void upgrade(std::unique_ptr<SchemeState> next);
+
+  NodeState state() const { return state_; }
+  SchemeState& scheme() { return *scheme_; }
+  const SchemeState& scheme() const { return *scheme_; }
+  bool image_complete() const { return scheme_->image_complete(); }
+
+ private:
+  struct NeighborInfo {
+    std::uint32_t pages_complete = 0;
+    bool bootstrapped = false;
+    sim::SimTime last_heard = 0;
+  };
+
+  // --- advertisement / Trickle ---------------------------------------------
+  void trickle_restart();
+  void arm_adv_fire();
+  void on_adv_fire();
+  void on_adv_interval_end();
+  void send_advertisement();
+
+  // --- RX -------------------------------------------------------------------
+  void consider_rx();
+  std::optional<NodeId> pick_server() const;
+  void enter_rx(NodeId target);
+  void leave_rx();
+  void arm_snack(sim::SimTime delay);
+  void send_snack();
+  void on_snack_retry();
+
+  // --- TX -------------------------------------------------------------------
+  void handle_snack(const Snack& snack);
+  void begin_or_merge_tx(const Snack& snack);
+  void serve_next();
+  void leave_tx();
+
+  // --- signature bootstrap ---------------------------------------------------
+  void maybe_request_signature();
+  void request_signature_from(NodeId target, Version version);
+  void adopt_scheme(std::unique_ptr<SchemeState> next);
+  void reset_protocol_state();
+  Bytes snack_tx_key() const;
+  void maybe_broadcast_signature();
+
+  // --- packet handlers -------------------------------------------------------
+  void handle_advertisement(const Advertisement& adv);
+  void handle_data(const DataPacket& data);
+  void handle_signature_frame(ByteView frame);
+
+  void on_progress();  // page or image newly complete
+
+  sim::SimTime rand_delay(sim::SimTime max);
+
+  std::unique_ptr<SchemeState> scheme_;
+  EngineConfig cfg_;
+  Bytes cluster_key_;
+
+  NodeState state_ = NodeState::kMaintain;
+  sim::Trickle trickle_;
+  sim::EventToken adv_token_;
+
+  std::map<NodeId, NeighborInfo> neighbors_;
+
+  // RX state.
+  NodeId rx_target_ = 0;
+  int rx_retries_ = 0;
+  sim::EventToken rx_token_;
+  // Latest time the next SNACK may be deferred to (anti-stall).
+  sim::SimTime rx_deadline_ = 0;
+
+  // TX state: one service session per requested page, always draining the
+  // lowest page first (Deluge priority). Sessions persist until idle so a
+  // request for an earlier page never discards accumulated state.
+  std::map<std::uint32_t, std::unique_ptr<TxScheduler>> tx_sessions_;
+  sim::EventToken tx_token_;
+  bool rx_pending_resume_ = false;
+
+  // Signature bootstrap.
+  bool sig_request_armed_ = false;
+  sim::EventToken sig_token_;
+  sim::SimTime last_sig_broadcast_ = -1;
+
+  // Denial-of-receipt mitigation: packets requested per (neighbor, page).
+  std::map<std::pair<NodeId, std::uint32_t>, std::size_t> dor_counters_;
+
+  // Round-robin rotation position per page, persisted across TX sessions
+  // so successive bursts cover fresh packet indices.
+  std::map<std::uint32_t, std::uint32_t> serve_rotation_;
+};
+
+}  // namespace lrs::proto

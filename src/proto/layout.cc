@@ -1,0 +1,103 @@
+#include "proto/layout.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lrs::proto {
+
+PageLayout compute_layout(std::size_t image_size, std::size_t mid_capacity,
+                          std::size_t last_capacity) {
+  LRS_CHECK(image_size > 0);
+  LRS_CHECK_MSG(mid_capacity > 0 && last_capacity > 0,
+                "page capacities must be positive (hash overhead >= page?)");
+  PageLayout l;
+  l.image_size = image_size;
+  l.mid_capacity = mid_capacity;
+  l.last_capacity = last_capacity;
+  if (image_size <= last_capacity) {
+    l.content_pages = 1;
+  } else {
+    const std::size_t rest = image_size - last_capacity;
+    l.content_pages = 1 + (rest + mid_capacity - 1) / mid_capacity;
+  }
+  return l;
+}
+
+namespace {
+/// [offset, length) of page `page`'s slice within the image.
+std::pair<std::size_t, std::size_t> slice_range(const PageLayout& l,
+                                                std::size_t page) {
+  LRS_CHECK(page >= 1 && page <= l.content_pages);
+  if (page < l.content_pages) {
+    return {(page - 1) * l.mid_capacity, l.mid_capacity};
+  }
+  const std::size_t off = (l.content_pages - 1) * l.mid_capacity;
+  return {off, l.last_capacity};
+}
+}  // namespace
+
+Bytes page_slice(ByteView image, const PageLayout& layout, std::size_t page) {
+  LRS_CHECK(image.size() == layout.image_size);
+  const auto [off, len] = slice_range(layout, page);
+  Bytes out(len, 0);
+  const std::size_t avail = off < image.size() ? image.size() - off : 0;
+  const std::size_t take = std::min(len, avail);
+  std::copy_n(image.begin() + off, take, out.begin());
+  return out;
+}
+
+void place_slice(Bytes& image, const PageLayout& layout, std::size_t page,
+                 ByteView slice) {
+  LRS_CHECK(image.size() == layout.image_size);
+  const auto [off, len] = slice_range(layout, page);
+  LRS_CHECK(slice.size() == len);
+  const std::size_t avail = off < image.size() ? image.size() - off : 0;
+  const std::size_t put = std::min(len, avail);
+  std::copy_n(slice.begin(), put, image.begin() + off);
+}
+
+std::vector<Bytes> split_blocks(ByteView data, std::size_t count) {
+  LRS_CHECK(count >= 1);
+  const std::size_t block = (data.size() + count - 1) / count;
+  LRS_CHECK(block >= 1);
+  std::vector<Bytes> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Bytes b(block, 0);
+    const std::size_t off = i * block;
+    if (off < data.size()) {
+      const std::size_t take = std::min(block, data.size() - off);
+      std::copy_n(data.begin() + off, take, b.begin());
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<Bytes> split_fixed(ByteView data, std::size_t block_size,
+                               std::size_t count) {
+  LRS_CHECK(block_size >= 1 && count >= 1);
+  LRS_CHECK(block_size * count >= data.size());
+  std::vector<Bytes> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Bytes b(block_size, 0);
+    const std::size_t off = i * block_size;
+    if (off < data.size()) {
+      const std::size_t take = std::min(block_size, data.size() - off);
+      std::copy_n(data.begin() + off, take, b.begin());
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::size_t next_pow2(std::size_t v) {
+  LRS_CHECK(v >= 1);
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace lrs::proto

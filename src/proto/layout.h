@@ -1,0 +1,48 @@
+// Page geometry shared by the three schemes.
+//
+// All schemes split the image into g content pages. Pages that carry
+// next-page hash images (Seluge: one per packet; LR-Seluge: n per page)
+// have less room for image bytes, and the last page carries no hashes —
+// so the capacity differs per position. This module centralizes the math
+// so the builders and the byte-accounting agree (paper §VI-B.3 relies on
+// the capacity shrinking as n grows).
+#pragma once
+
+#include <cstddef>
+
+#include "util/types.h"
+
+namespace lrs::proto {
+
+struct PageLayout {
+  std::size_t image_size = 0;
+  std::size_t content_pages = 0;   // g
+  std::size_t mid_capacity = 0;    // image bytes per page 1..g-1
+  std::size_t last_capacity = 0;   // image bytes in page g
+};
+
+/// Smallest g such that (g-1)*mid_capacity + last_capacity >= image_size.
+PageLayout compute_layout(std::size_t image_size, std::size_t mid_capacity,
+                          std::size_t last_capacity);
+
+/// Image slice carried by content page `page` (1-based, in [1, g]),
+/// zero-padded to that page's capacity.
+Bytes page_slice(ByteView image, const PageLayout& layout, std::size_t page);
+
+/// Writes a recovered slice back into its place; trailing padding beyond
+/// image_size is discarded.
+void place_slice(Bytes& image, const PageLayout& layout, std::size_t page,
+                 ByteView slice);
+
+/// Splits `data` into `count` equal blocks, zero-padding the tail.
+std::vector<Bytes> split_blocks(ByteView data, std::size_t count);
+
+/// Splits `data` into `count` blocks of exactly `block_size` bytes each,
+/// zero-padding; count * block_size must cover data.
+std::vector<Bytes> split_fixed(ByteView data, std::size_t block_size,
+                               std::size_t count);
+
+/// Smallest power of two >= v (v >= 1).
+std::size_t next_pow2(std::size_t v);
+
+}  // namespace lrs::proto

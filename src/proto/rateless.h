@@ -1,0 +1,35 @@
+// Rateless Deluge (Hagedorn, Starobinski & Trachtenberg, IPSN'08) — the
+// loss-resilient-but-insecure corner of the design space (paper ref [2]).
+//
+// Pages are random-linear-coded over GF(256) with an (in principle)
+// unbounded supply of encoded packets: a sender answering a request always
+// has a fresh combination to offer, so no specific packet ever needs
+// retransmitting. The flip side is the paper's motivation for LR-Seluge:
+// because the packet stream is not predetermined, per-packet hash chaining
+// is impossible — receivers must accept (and buffer, and spend decode work
+// on) anything that parses. Our attack benches quantify that exposure.
+//
+// Implementation notes: coefficients derive deterministically from a
+// preloaded seed and the (page, index) pair, with indices drawn from a
+// large window (kWindowFactor * k per page) that stands in for "rateless";
+// the first k indices are systematic. Receivers run an incremental
+// GF(256) eliminator and decode at rank k.
+#pragma once
+
+#include <memory>
+
+#include "proto/params.h"
+#include "proto/scheme.h"
+
+namespace lrs::proto {
+
+/// Encoded-packet index window per page, as a multiple of k.
+inline constexpr std::size_t kRatelessWindowFactor = 8;
+
+std::unique_ptr<SchemeState> make_rateless_source(const CommonParams& params,
+                                                  const Bytes& image);
+
+std::unique_ptr<SchemeState> make_rateless_receiver(
+    const CommonParams& params, std::size_t image_size);
+
+}  // namespace lrs::proto

@@ -1,0 +1,52 @@
+#include "proto/scheduler.h"
+
+#include "util/check.h"
+
+namespace lrs::proto {
+
+namespace {
+
+class UnionScheduler final : public TxScheduler {
+ public:
+  explicit UnionScheduler(std::size_t packets)
+      : pending_(packets), last_(packets == 0 ? 0 : packets - 1) {}
+
+  void on_snack(NodeId, const BitVec& requested, std::size_t) override {
+    LRS_CHECK(requested.size() == pending_.size());
+    pending_ |= requested;
+  }
+
+  std::optional<std::uint32_t> next_packet() override {
+    if (pending_.none()) return std::nullopt;
+    const auto idx = pending_.first_set_cyclic((last_ + 1) % pending_.size());
+    LRS_CHECK(idx.has_value());
+    pending_.clear(*idx);
+    last_ = *idx;
+    return static_cast<std::uint32_t>(*idx);
+  }
+
+  void on_overheard_data(std::uint32_t index) override {
+    if (index < pending_.size()) pending_.clear(index);
+  }
+
+  void set_start(std::uint32_t index) override {
+    if (pending_.size() > 0)
+      last_ = (index + pending_.size() - 1) % pending_.size();
+  }
+
+  bool idle() const override { return pending_.none(); }
+  std::size_t backlog() const override { return pending_.count(); }
+
+ private:
+  BitVec pending_;
+  std::size_t last_;
+};
+
+}  // namespace
+
+std::unique_ptr<TxScheduler> make_union_scheduler(
+    std::size_t packets_in_page) {
+  return std::make_unique<UnionScheduler>(packets_in_page);
+}
+
+}  // namespace lrs::proto

@@ -1,0 +1,61 @@
+// TX-state packet scheduling.
+//
+// When a node enters the TX state it must decide which packets of the
+// requested page to broadcast, and in what order, to satisfy every
+// requester with as few transmissions as possible.
+//
+//  * UnionScheduler — Deluge/Seluge behavior: transmit the union of all
+//    requested bit-vectors, cyclically by index. Every requested packet is
+//    sent because every receiver needs exactly the packets it asked for.
+//  * GreedyRoundRobinScheduler (src/core) — LR-Seluge's contribution
+//    (paper §IV-D.3): a tracking table of per-neighbor bit-vectors and
+//    distances; transmit the most popular packet, then sweep cyclically
+//    right, stopping each neighbor's service as soon as its distance
+//    (remaining packets needed to decode) hits zero.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "util/bitvec.h"
+#include "util/types.h"
+
+namespace lrs::proto {
+
+class TxScheduler {
+ public:
+  virtual ~TxScheduler() = default;
+
+  /// Merges a SNACK from `node`: `requested` marks desired packet indices,
+  /// `needed` is how many more packets that node requires to finish the
+  /// page (its "distance"; ignored by schedulers that must send the full
+  /// request).
+  virtual void on_snack(NodeId node, const BitVec& requested,
+                        std::size_t needed) = 0;
+
+  /// Picks the next packet index to broadcast and updates internal state
+  /// under the optimistic assumption the broadcast is received. nullopt
+  /// when there is nothing (left) to send.
+  virtual std::optional<std::uint32_t> next_packet() = 0;
+
+  /// A packet for this page was overheard from another server: treat it as
+  /// sent (Deluge-style data suppression).
+  virtual void on_overheard_data(std::uint32_t index) = 0;
+
+  /// Sets where the cyclic sweep starts. Serving nodes persist the rotation
+  /// position across TX sessions so successive bursts for the same page
+  /// cover DIFFERENT packets — for an erasure-coded page every fresh index
+  /// is innovative for every listener.
+  virtual void set_start(std::uint32_t index) = 0;
+
+  virtual bool idle() const = 0;
+
+  /// Packets this scheduler would still transmit (diagnostics).
+  virtual std::size_t backlog() const = 0;
+};
+
+/// Deluge/Seluge: union of requests, served round-robin by index.
+std::unique_ptr<TxScheduler> make_union_scheduler(std::size_t packets_in_page);
+
+}  // namespace lrs::proto

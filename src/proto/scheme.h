@@ -1,0 +1,92 @@
+// The scheme abstraction: everything protocol-specific that the shared
+// dissemination engine delegates.
+//
+// One SchemeState instance lives inside each node. It owns the node's view
+// of the code image — complete on the base station, incrementally filled on
+// receivers — and implements packet authentication, page decoding, request
+// construction and packet (re)generation for serving. The engine handles
+// states, timers, Trickle, SNACK suppression and TX scheduling policy.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "proto/scheduler.h"
+#include "sim/metrics.h"
+#include "util/bitvec.h"
+#include "util/types.h"
+
+namespace lrs::proto {
+
+/// Outcome of feeding a data packet to the scheme.
+enum class DataStatus {
+  kRejected,       // failed authentication (or malformed) — hostile
+  kStale,          // wrong page / duplicate — harmless, dropped
+  kStored,         // authenticated and buffered
+  kPageComplete,   // this packet completed (decoded) the current page
+  kImageComplete,  // this packet completed the whole image
+};
+
+class SchemeState {
+ public:
+  virtual ~SchemeState() = default;
+
+  // --- identity & geometry -------------------------------------------------
+  virtual Version version() const = 0;
+  /// Total transfer pages (hash page included where the scheme has one).
+  virtual std::uint32_t num_pages() const = 0;
+  /// Number of distinct packets a page is served as (n, n0 or k).
+  virtual std::size_t packets_in_page(std::uint32_t page) const = 0;
+  /// Packets sufficient to complete a page (k' / k0' / k).
+  virtual std::size_t decode_threshold(std::uint32_t page) const = 0;
+
+  // --- receiver ------------------------------------------------------------
+  /// Contiguous count of complete pages starting at page 0.
+  virtual std::uint32_t pages_complete() const = 0;
+  virtual bool image_complete() const = 0;
+  /// Recovered image bytes (only once complete).
+  virtual Bytes assemble_image() const = 0;
+
+  /// Which packet indices of `page` to set in a SNACK (the ones not yet
+  /// received/stored).
+  virtual BitVec request_bits(std::uint32_t page) const = 0;
+
+  /// Authenticates and stores a received data packet. `m` is charged for
+  /// verification work. Only packets of page pages_complete() make
+  /// progress; others are kStale.
+  virtual DataStatus on_data(std::uint32_t page, std::uint32_t index,
+                             ByteView payload, sim::NodeMetrics& m) = 0;
+
+  /// Checks whether a packet of an ALREADY-COMPLETE page is authentic
+  /// (one hash against the stored hash chain). The engine uses this to
+  /// distinguish genuine straggler service (worth holding our own request
+  /// back for, to keep the neighborhood in lockstep) from forged traffic,
+  /// which must never delay us. Returns false for pages not yet complete.
+  virtual bool verify_stored_packet(std::uint32_t page, std::uint32_t index,
+                                    ByteView payload,
+                                    sim::NodeMetrics& m) const = 0;
+
+  // --- bootstrap (signature packet) ----------------------------------------
+  /// Whether data packets are useless until a signature packet verified.
+  virtual bool needs_signature() const = 0;
+  /// Root known (vacuously true for schemes without signatures).
+  virtual bool bootstrapped() const = 0;
+  /// Processes a received signature frame. Returns true when it verified
+  /// and the node became bootstrapped.
+  virtual bool on_signature(ByteView frame, sim::NodeMetrics& m) = 0;
+  /// Serialized signature frame for (re)broadcast; nullopt if the scheme
+  /// has none or this node is not bootstrapped with a stored copy.
+  virtual std::optional<Bytes> signature_frame() const = 0;
+
+  // --- sender --------------------------------------------------------------
+  /// Payload of packet (page, index); nullopt unless the page is complete
+  /// here. LR-Seluge re-encodes the decoded page on demand.
+  virtual std::optional<Bytes> packet_payload(std::uint32_t page,
+                                              std::uint32_t index) = 0;
+
+  /// TX scheduling policy for serving a page of this scheme.
+  virtual std::unique_ptr<TxScheduler> make_scheduler(
+      std::uint32_t page) const = 0;
+};
+
+}  // namespace lrs::proto

@@ -1,0 +1,35 @@
+// Seluge (Hyun, Ning, Liu & Du, IPSN'08): the secure ARQ baseline.
+//
+// Deluge's page-by-page transfer, hardened exactly as the paper describes
+// (§II-B): the hash of packet (i+1, j) is embedded in packet (i, j); the
+// first content page is authenticated through a hash page under a Merkle
+// tree whose root the base station signs; the signature packet carries a
+// message-specific puzzle so forged signature packets are filtered with one
+// hash instead of a signature verification.
+//
+// Every data packet is authenticated immediately on arrival — but a lost
+// packet must be retransmitted until every receiver holds precisely that
+// packet, which is what makes Seluge degrade in lossy channels.
+#pragma once
+
+#include <memory>
+
+#include "crypto/hash.h"
+#include "crypto/wots.h"
+#include "proto/params.h"
+#include "proto/scheme.h"
+
+namespace lrs::proto {
+
+/// Base-station side: preprocesses `image` and signs the Merkle root with
+/// `signer` (consumes one one-time key).
+std::unique_ptr<SchemeState> make_seluge_source(const CommonParams& params,
+                                                const Bytes& image,
+                                                crypto::MultiKeySigner& signer);
+
+/// Receiver side: only the preloaded verification root; geometry arrives in
+/// the signed metadata.
+std::unique_ptr<SchemeState> make_seluge_receiver(
+    const CommonParams& params, const crypto::PacketHash& root_public_key);
+
+}  // namespace lrs::proto

@@ -1,0 +1,35 @@
+// Sluice (Lanigan, Gandhi & Narasimhan, DSN'06) — authenticated
+// dissemination with PAGE-level hash chaining (paper ref [8], discussed in
+// §VII).
+//
+// Each page embeds the hash of the NEXT page; the base station signs the
+// hash of the first page. Elegant and cheap — but a packet can only be
+// verified once its WHOLE page is assembled. The paper's §VII critique,
+// which this implementation lets the attack benches quantify: an adversary
+// injecting a single bogus packet per page poisons the page buffer, the
+// page-level hash fails on completion, the receiver must discard the page
+// wholesale and start over — a denial of service at one forged packet per
+// page. (Seluge's and LR-Seluge's immediate per-packet authentication
+// closes exactly this hole.)
+//
+// The signature packet carries the same message-specific puzzle as the
+// other schemes so the comparison isolates the data-path difference.
+#pragma once
+
+#include <memory>
+
+#include "crypto/hash.h"
+#include "crypto/wots.h"
+#include "proto/params.h"
+#include "proto/scheme.h"
+
+namespace lrs::proto {
+
+std::unique_ptr<SchemeState> make_sluice_source(const CommonParams& params,
+                                                const Bytes& image,
+                                                crypto::MultiKeySigner& signer);
+
+std::unique_ptr<SchemeState> make_sluice_receiver(
+    const CommonParams& params, const crypto::PacketHash& root_public_key);
+
+}  // namespace lrs::proto

@@ -1,0 +1,111 @@
+#include "sim/channel.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lrs::sim {
+
+namespace {
+
+class PerfectChannel final : public LossModel {
+ public:
+  bool delivered(NodeId, NodeId, SimTime, Rng&) override { return true; }
+};
+
+class UniformLoss final : public LossModel {
+ public:
+  explicit UniformLoss(double p) : p_(p) { LRS_CHECK(p >= 0.0 && p <= 1.0); }
+  bool delivered(NodeId, NodeId, SimTime, Rng& rng) override {
+    return !rng.bernoulli(p_);
+  }
+
+ private:
+  double p_;
+};
+
+class PerNodeLoss final : public LossModel {
+ public:
+  explicit PerNodeLoss(std::vector<double> p) : p_(std::move(p)) {}
+  bool delivered(NodeId, NodeId to, SimTime, Rng& rng) override {
+    LRS_CHECK(to < p_.size());
+    return !rng.bernoulli(p_[to]);
+  }
+
+ private:
+  std::vector<double> p_;
+};
+
+class GilbertElliott final : public LossModel {
+ public:
+  GilbertElliott(GilbertElliottParams params, std::size_t node_count,
+                 std::uint64_t seed)
+      : params_(params), rng_(seed) {
+    LRS_CHECK(params.mean_good_dwell > 0 && params.mean_bad_dwell > 0);
+    states_.reserve(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      // Stagger initial phases so nodes do not fade in lockstep.
+      State s;
+      s.bad = rng_.bernoulli(stationary_bad_probability());
+      s.until = sample_dwell(s.bad);
+      states_.push_back(s);
+    }
+  }
+
+  bool delivered(NodeId, NodeId to, SimTime now, Rng& rng) override {
+    LRS_CHECK(to < states_.size());
+    State& s = states_[to];
+    // Lazily advance the two-state Markov process to `now`.
+    while (s.until <= now) {
+      s.bad = !s.bad;
+      s.until += sample_dwell(s.bad);
+    }
+    return !rng.bernoulli(s.bad ? params_.p_bad : params_.p_good);
+  }
+
+ private:
+  struct State {
+    bool bad = false;
+    SimTime until = 0;
+  };
+
+  double stationary_bad_probability() const {
+    const double g = static_cast<double>(params_.mean_good_dwell);
+    const double b = static_cast<double>(params_.mean_bad_dwell);
+    return b / (g + b);
+  }
+
+  SimTime sample_dwell(bool bad) {
+    const double mean = static_cast<double>(bad ? params_.mean_bad_dwell
+                                                : params_.mean_good_dwell);
+    const double u = 1.0 - rng_.uniform01();
+    const double d = -mean * std::log(u);
+    return std::max<SimTime>(1, static_cast<SimTime>(d));
+  }
+
+  GilbertElliottParams params_;
+  Rng rng_;
+  std::vector<State> states_;
+};
+
+}  // namespace
+
+std::unique_ptr<LossModel> make_perfect_channel() {
+  return std::make_unique<PerfectChannel>();
+}
+
+std::unique_ptr<LossModel> make_uniform_loss(double p) {
+  return std::make_unique<UniformLoss>(p);
+}
+
+std::unique_ptr<LossModel> make_per_node_loss(std::vector<double> p) {
+  return std::make_unique<PerNodeLoss>(std::move(p));
+}
+
+std::unique_ptr<LossModel> make_gilbert_elliott(GilbertElliottParams params,
+                                                std::size_t node_count,
+                                                std::uint64_t seed) {
+  return std::make_unique<GilbertElliott>(params, node_count, seed);
+}
+
+}  // namespace lrs::sim

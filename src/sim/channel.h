@@ -1,0 +1,54 @@
+// Per-reception loss models layered on top of the topology's base PRR.
+//
+// The paper's one-hop experiments emulate losses by dropping each received
+// packet with probability p at the application layer (§VI-A); the multi-hop
+// experiments add heavy RF noise from the TinyOS meyer-heavy trace. We model
+// the former exactly (UniformLossModel) and substitute the latter with a
+// Gilbert-Elliott two-state burst process — the standard synthetic source of
+// bursty interference (see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/topology.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace lrs::sim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True if the frame from `from` survives the channel to `to` at `now`
+  /// (evaluated once per reception attempt, after PRR and collisions).
+  virtual bool delivered(NodeId from, NodeId to, SimTime now, Rng& rng) = 0;
+};
+
+/// No extra losses beyond PRR/collisions.
+std::unique_ptr<LossModel> make_perfect_channel();
+
+/// Drops every reception independently with probability `p` — the paper's
+/// one-hop loss-emulation strategy.
+std::unique_ptr<LossModel> make_uniform_loss(double p);
+
+/// Per-receiver loss probabilities (heterogeneous p_i, as in the analysis of
+/// §V-A); `p[i]` applies to receptions at node i.
+std::unique_ptr<LossModel> make_per_node_loss(std::vector<double> p);
+
+/// Gilbert-Elliott burst noise: each receiver flips between a good state
+/// (drop probability p_good) and a bad state (p_bad), with dwell times
+/// exponentially distributed around the given means. Substitutes the
+/// meyer-heavy RF noise trace.
+struct GilbertElliottParams {
+  double p_good = 0.05;
+  double p_bad = 0.6;
+  SimTime mean_good_dwell = 800 * kMillisecond;
+  SimTime mean_bad_dwell = 200 * kMillisecond;
+};
+std::unique_ptr<LossModel> make_gilbert_elliott(GilbertElliottParams params,
+                                                std::size_t node_count,
+                                                std::uint64_t seed);
+
+}  // namespace lrs::sim

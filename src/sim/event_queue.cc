@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace lrs::sim {
+
+EventToken EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
+  LRS_CHECK_MSG(at >= now_, "cannot schedule events in the past");
+  auto token = std::make_shared<bool>(false);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), token});
+  return token;
+}
+
+std::optional<SimTime> EventQueue::peek_time() {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.cancelled && *top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    return top.time;
+  }
+  return std::nullopt;
+}
+
+bool EventQueue::run_next() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (e.cancelled && *e.cancelled) continue;
+    now_ = e.time;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventQueue::run_until(SimTime limit) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.cancelled && *top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > limit) break;
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    e.fn();
+    ++executed;
+  }
+  if (now_ < limit && queue_.empty()) now_ = limit;
+  return executed;
+}
+
+}  // namespace lrs::sim

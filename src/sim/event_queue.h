@@ -1,0 +1,68 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events at equal timestamps fire in scheduling order (a strictly increasing
+// sequence number breaks ties), which keeps runs reproducible. Cancellation
+// is cooperative: schedule() hands back a token the caller may cancel; a
+// cancelled event is skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace lrs::sim {
+
+/// Shared cancellation flag. Holding the token and setting *token = true
+/// before the event fires suppresses it.
+using EventToken = std::shared_ptr<bool>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  EventToken schedule_at(SimTime at, std::function<void()> fn);
+
+  SimTime now() const { return now_; }
+  /// Counts cancelled-but-not-yet-popped events too (they are skipped when
+  /// reached); callers treat these as conservative.
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Pops and runs the next event; returns false when the queue is empty.
+  bool run_next();
+
+  /// Time of the next live event, discarding cancelled entries on the way;
+  /// nullopt when drained.
+  std::optional<SimTime> peek_time();
+
+  /// Runs until the queue drains or `limit` is passed (events strictly after
+  /// `limit` stay queued). Returns the number of events executed.
+  std::uint64_t run_until(SimTime limit);
+
+  static void cancel(const EventToken& token) {
+    if (token) *token = true;
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    EventToken cancelled;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+};
+
+}  // namespace lrs::sim

@@ -1,0 +1,84 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lrs::sim {
+
+const char* packet_class_name(PacketClass c) {
+  switch (c) {
+    case PacketClass::kData: return "data";
+    case PacketClass::kSnack: return "snack";
+    case PacketClass::kAdvertisement: return "adv";
+    case PacketClass::kSignature: return "signature";
+    case PacketClass::kCount: break;
+  }
+  return "?";
+}
+
+void Metrics::record_send(NodeId id, PacketClass c, std::size_t frame_bytes) {
+  LRS_CHECK(id < nodes_.size());
+  auto& m = nodes_[id];
+  m.sent[static_cast<std::size_t>(c)] += 1;
+  m.sent_bytes[static_cast<std::size_t>(c)] += frame_bytes;
+}
+
+void Metrics::record_receive(NodeId id, PacketClass c) {
+  LRS_CHECK(id < nodes_.size());
+  nodes_[id].received[static_cast<std::size_t>(c)] += 1;
+}
+
+std::uint64_t Metrics::total_sent(PacketClass c) const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_) total += m.sent[static_cast<std::size_t>(c)];
+  return total;
+}
+
+std::uint64_t Metrics::total_sent_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_)
+    for (auto b : m.sent_bytes) total += b;
+  return total;
+}
+
+std::uint64_t Metrics::total_sent_bytes(PacketClass c) const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_)
+    total += m.sent_bytes[static_cast<std::size_t>(c)];
+  return total;
+}
+
+std::uint64_t Metrics::total_auth_failures() const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_) total += m.auth_failures;
+  return total;
+}
+
+std::uint64_t Metrics::total_hash_verifications() const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_) total += m.hash_verifications;
+  return total;
+}
+
+std::uint64_t Metrics::total_signature_verifications() const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_) total += m.signature_verifications;
+  return total;
+}
+
+std::size_t Metrics::completed_count(NodeId excluding) const {
+  std::size_t count = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (id != excluding && nodes_[id].completion_time >= 0) ++count;
+  }
+  return count;
+}
+
+SimTime Metrics::last_completion() const {
+  SimTime last = -1;
+  for (const auto& m : nodes_) last = std::max(last, m.completion_time);
+  return last;
+}
+
+}  // namespace lrs::sim

@@ -1,0 +1,256 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace lrs::sim {
+
+/// One in-flight frame. Per-receiver corruption flags are tracked for every
+/// neighbor that started locked onto this frame.
+struct Simulator::Transmission {
+  NodeId sender;
+  PacketClass cls;
+  Bytes frame;
+  SimTime end;
+  // corrupted[i] corresponds to topology.neighbors(sender)[i].
+  std::vector<bool> corrupted;
+};
+
+struct Simulator::NodeState {
+  // MAC queue: frames waiting for the channel.
+  std::deque<std::pair<PacketClass, Bytes>> tx_queue;
+  bool attempt_scheduled = false;
+  bool transmitting = false;
+  SimTime backoff_window = 0;
+  // Frame this node's receiver is currently locked onto (sender + slot
+  // index into that transmission's corrupted vector), if any.
+  std::shared_ptr<Transmission> rx_current;
+  std::size_t rx_slot = 0;
+  // Number of active transmissions whose carrier reaches this node.
+  int carrier_count = 0;
+  Rng rng{0};
+};
+
+class Simulator::SimEnv final : public Env {
+ public:
+  SimEnv(Simulator* sim, NodeId id) : sim_(sim), id_(id) {}
+
+  SimTime now() const override { return sim_->queue_.now(); }
+  NodeId id() const override { return id_; }
+
+  void broadcast(PacketClass cls, Bytes frame) override {
+    sim_->enqueue_frame(id_, cls, std::move(frame));
+  }
+
+  EventToken schedule(SimTime delay, std::function<void()> fn) override {
+    LRS_CHECK(delay >= 0);
+    return sim_->queue_.schedule_at(now() + delay, std::move(fn));
+  }
+
+  void cancel(const EventToken& token) override { EventQueue::cancel(token); }
+
+  std::size_t pending_tx() const override {
+    const auto& st = sim_->states_[id_];
+    return st.tx_queue.size() + (st.transmitting ? 1 : 0);
+  }
+
+  Rng& rng() override { return sim_->states_[id_].rng; }
+  NodeMetrics& metrics() override { return sim_->metrics_->node(id_); }
+
+  void notify_complete() override {
+    auto& m = sim_->metrics_->node(id_);
+    if (m.completion_time < 0) m.completion_time = now();
+  }
+
+ private:
+  Simulator* sim_;
+  NodeId id_;
+};
+
+Simulator::Simulator(Topology topology, std::unique_ptr<LossModel> loss,
+                     RadioParams radio, std::uint64_t seed)
+    : topology_(std::move(topology)),
+      loss_(std::move(loss)),
+      radio_(radio),
+      rng_(seed),
+      metrics_(std::make_unique<Metrics>(topology_.size())) {
+  LRS_CHECK(loss_ != nullptr);
+  states_.resize(topology_.size());
+  for (auto& s : states_) s.rng = rng_.fork();
+}
+
+Simulator::~Simulator() = default;
+
+Env& Simulator::make_env() {
+  LRS_CHECK_MSG(envs_.size() < topology_.size(),
+                "more nodes than topology positions");
+  envs_.push_back(
+      std::make_unique<SimEnv>(this, static_cast<NodeId>(envs_.size())));
+  return *envs_.back();
+}
+
+void Simulator::attach(std::unique_ptr<Node> node) {
+  LRS_CHECK(!started_);
+  nodes_.push_back(std::move(node));
+}
+
+void Simulator::start_if_needed() {
+  if (started_) return;
+  started_ = true;
+  LRS_CHECK_MSG(nodes_.size() == topology_.size(),
+                "every topology position needs a node before run()");
+  for (auto& node : nodes_) {
+    queue_.schedule_at(0, [n = node.get()] { n->on_start(); });
+  }
+}
+
+bool Simulator::run(SimTime limit, const std::function<bool()>& done) {
+  start_if_needed();
+  if (done && done()) return true;
+  while (auto t = queue_.peek_time()) {
+    if (*t > limit) break;
+    queue_.run_next();
+    if (done && done()) return true;
+  }
+  return done ? done() : true;
+}
+
+void Simulator::enqueue_frame(NodeId sender, PacketClass cls, Bytes frame) {
+  auto& st = states_[sender];
+  st.tx_queue.emplace_back(cls, std::move(frame));
+  if (!st.attempt_scheduled && !st.transmitting) {
+    // Fresh contention: small random initial backoff for fairness.
+    schedule_attempt(sender, radio_.backoff_initial +
+                                 static_cast<SimTime>(st.rng.uniform(
+                                     static_cast<std::uint64_t>(
+                                         radio_.backoff_window))));
+    st.backoff_window = radio_.backoff_window;
+  }
+}
+
+void Simulator::schedule_attempt(NodeId sender, SimTime delay) {
+  auto& st = states_[sender];
+  st.attempt_scheduled = true;
+  queue_.schedule_at(queue_.now() + delay,
+                     [this, sender] { attempt_send(sender); });
+}
+
+bool Simulator::carrier_busy(NodeId sender) const {
+  const auto& st = states_[sender];
+  return st.carrier_count > 0 || st.rx_current != nullptr;
+}
+
+void Simulator::attempt_send(NodeId sender) {
+  auto& st = states_[sender];
+  st.attempt_scheduled = false;
+  if (st.tx_queue.empty() || st.transmitting) return;
+
+  if (carrier_busy(sender)) {
+    // Binary exponential backoff.
+    st.backoff_window =
+        std::min(st.backoff_window * 2, radio_.backoff_window_max);
+    schedule_attempt(sender, static_cast<SimTime>(st.rng.uniform(
+                         static_cast<std::uint64_t>(st.backoff_window))) +
+                         radio_.backoff_initial);
+    return;
+  }
+  st.backoff_window = radio_.backoff_window;
+  begin_transmission(sender);
+}
+
+void Simulator::begin_transmission(NodeId sender) {
+  auto& st = states_[sender];
+  auto [cls, frame] = std::move(st.tx_queue.front());
+  st.tx_queue.pop_front();
+
+  const SimTime duration = radio_.airtime(frame.size());
+  auto tx = std::make_shared<Transmission>();
+  tx->sender = sender;
+  tx->cls = cls;
+  tx->end = queue_.now() + duration;
+  tx->frame = std::move(frame);
+
+  const auto& neighbors = topology_.neighbors(sender);
+  tx->corrupted.assign(neighbors.size(), false);
+
+  metrics_->record_send(sender, cls, tx->frame.size());
+  metrics_->node(sender).tx_airtime_us +=
+      static_cast<std::uint64_t>(duration);
+  LRS_LOG(kTrace) << "TX node " << sender << " class "
+                  << packet_class_name(cls) << " start " << queue_.now()
+                  << " end " << tx->end;
+  st.transmitting = true;
+
+  // Half-duplex: starting to transmit aborts any in-progress reception.
+  if (st.rx_current) {
+    st.rx_current->corrupted[st.rx_slot] = true;
+    st.rx_current = nullptr;
+    ++collisions_;
+  }
+
+  for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+    const NodeId r = neighbors[slot];
+    auto& rs = states_[r];
+    ++rs.carrier_count;
+    if (rs.transmitting) {
+      // Receiver is busy talking: it misses this frame entirely.
+      tx->corrupted[slot] = true;
+      continue;
+    }
+    if (rs.rx_current) {
+      // Collision: both the in-progress frame and this one are lost at r.
+      rs.rx_current->corrupted[rs.rx_slot] = true;
+      tx->corrupted[slot] = true;
+      ++collisions_;
+      continue;
+    }
+    rs.rx_current = tx;
+    rs.rx_slot = slot;
+  }
+
+  queue_.schedule_at(tx->end, [this, sender, tx] {
+    end_transmission(sender, tx);
+  });
+}
+
+void Simulator::end_transmission(NodeId sender,
+                                 const std::shared_ptr<Transmission>& tx) {
+  auto& st = states_[sender];
+  st.transmitting = false;
+
+  const auto& neighbors = topology_.neighbors(sender);
+  for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+    const NodeId r = neighbors[slot];
+    auto& rs = states_[r];
+    --rs.carrier_count;
+    const bool locked = rs.rx_current == tx && rs.rx_slot == slot;
+    if (locked) {
+      rs.rx_current = nullptr;
+      // The receiver's radio was occupied for the whole frame whether or
+      // not the content survives (collisions/losses still cost energy).
+      metrics_->node(r).rx_airtime_us +=
+          static_cast<std::uint64_t>(radio_.airtime(tx->frame.size()));
+    }
+
+    if (!locked || tx->corrupted[slot]) continue;
+    // Channel quality: topology PRR sample, then the loss-model overlay
+    // (application-layer drops in the paper's one-hop experiments).
+    if (!rs.rng.bernoulli(topology_.prr(sender, r))) continue;
+    if (!loss_->delivered(sender, r, queue_.now(), rs.rng)) continue;
+
+    metrics_->record_receive(r, tx->cls);
+    nodes_[r]->on_receive(view(tx->frame));
+  }
+
+  // Node may have queued more frames while transmitting.
+  if (!st.tx_queue.empty() && !st.attempt_scheduled) {
+    schedule_attempt(sender,
+                     radio_.backoff_initial +
+                         static_cast<SimTime>(st.rng.uniform(
+                             static_cast<std::uint64_t>(radio_.backoff_window))));
+  }
+}
+
+}  // namespace lrs::sim

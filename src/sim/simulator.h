@@ -1,0 +1,155 @@
+// The discrete-event network simulator: nodes, a CSMA broadcast radio with
+// collisions and half-duplex receivers, channel loss models, and metrics.
+//
+// Protocol state machines are written against the narrow Env interface so
+// they also run under scripted fake environments in unit tests. The
+// simulator provides the real Env implementation: local broadcast with
+// carrier sensing, exponential-backoff retries, per-receiver collision
+// tracking, PRR sampling from the topology and an additional LossModel
+// (the paper's application-layer drop probability p).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/time.h"
+#include "sim/topology.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace lrs::sim {
+
+struct RadioParams {
+  double bitrate_bps = 250'000.0;      // CC2420-class radio
+  std::size_t phy_overhead_bytes = 15; // preamble/SFD/len/MAC/FCS per frame
+  // Power draws for energy accounting (CC2420 at 3 V: 17.4 mA tx at 0 dBm,
+  // 18.8 mA rx/listen).
+  double tx_power_mw = 52.2;
+  double rx_power_mw = 56.4;
+  SimTime backoff_initial = 500 * kMicrosecond;
+  SimTime backoff_window = 5 * kMillisecond;   // initial contention window
+  SimTime backoff_window_max = 50 * kMillisecond;
+
+  SimTime airtime(std::size_t frame_bytes) const {
+    const double bits =
+        static_cast<double>((frame_bytes + phy_overhead_bytes) * 8);
+    return static_cast<SimTime>(bits / bitrate_bps *
+                                static_cast<double>(kSecond));
+  }
+};
+
+class Simulator;
+
+/// What a protocol node sees of the world. Implemented by the simulator and
+/// by test doubles.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual SimTime now() const = 0;
+  virtual NodeId id() const = 0;
+  /// Local broadcast to all radio neighbors (queued behind CSMA).
+  virtual void broadcast(PacketClass cls, Bytes frame) = 0;
+  /// One-shot timer; the token cancels it.
+  virtual EventToken schedule(SimTime delay, std::function<void()> fn) = 0;
+  /// Frames waiting in (or occupying) this node's MAC: lets senders pace
+  /// themselves to the radio instead of flooding the queue.
+  virtual std::size_t pending_tx() const = 0;
+  virtual void cancel(const EventToken& token) = 0;
+  virtual Rng& rng() = 0;
+  virtual NodeMetrics& metrics() = 0;
+  /// The node holds the complete verified image (records completion time).
+  virtual void notify_complete() = 0;
+};
+
+/// Base class for everything attached to the simulator.
+class Node {
+ public:
+  explicit Node(Env& env) : env_(env) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Called once when the simulation starts.
+  virtual void on_start() = 0;
+  /// Called for every frame that survives the channel.
+  virtual void on_receive(ByteView frame) = 0;
+
+ protected:
+  Env& env() { return env_; }
+  const Env& env() const { return env_; }
+
+ private:
+  Env& env_;
+};
+
+class Simulator {
+ public:
+  Simulator(Topology topology, std::unique_ptr<LossModel> loss,
+            RadioParams radio, std::uint64_t seed);
+  ~Simulator();
+
+  /// Creates a node of type T whose constructor receives (Env&, args...).
+  /// Nodes must be added in NodeId order 0..topology.size()-1 before run().
+  template <typename T, typename... Args>
+  T& add_node(Args&&... args) {
+    Env& env = make_env();
+    auto node = std::make_unique<T>(env, std::forward<Args>(args)...);
+    T& ref = *node;
+    attach(std::move(node));
+    return ref;
+  }
+
+  /// Runs until `done()` (checked after every event) or `limit`.
+  /// Returns true when `done()` stopped the run.
+  bool run(SimTime limit, const std::function<bool()>& done = {});
+
+  SimTime now() const { return queue_.now(); }
+  Metrics& metrics() { return *metrics_; }
+  const Metrics& metrics() const { return *metrics_; }
+  const Topology& topology() const { return topology_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(NodeId id) { return *nodes_[id]; }
+  const RadioParams& radio() const { return radio_; }
+
+  /// Number of frames dropped due to collisions / half-duplex conflicts —
+  /// exposed for radio-model tests and diagnostics.
+  std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  class SimEnv;
+  struct Transmission;
+  struct NodeState;
+
+  Env& make_env();
+  void attach(std::unique_ptr<Node> node);
+  void start_if_needed();
+
+  void enqueue_frame(NodeId sender, PacketClass cls, Bytes frame);
+  void schedule_attempt(NodeId sender, SimTime delay);
+  void attempt_send(NodeId sender);
+  bool carrier_busy(NodeId sender) const;
+  void begin_transmission(NodeId sender);
+  void end_transmission(NodeId sender,
+                        const std::shared_ptr<Transmission>& tx);
+
+  Topology topology_;
+  std::unique_ptr<LossModel> loss_;
+  RadioParams radio_;
+  Rng rng_;
+  EventQueue queue_;
+  std::unique_ptr<Metrics> metrics_;
+
+  std::vector<std::unique_ptr<SimEnv>> envs_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<NodeState> states_;
+  bool started_ = false;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace lrs::sim

@@ -1,0 +1,23 @@
+// Simulated time: a signed 64-bit count of microseconds since simulation
+// start. Plain integer arithmetic keeps event ordering exact.
+#pragma once
+
+#include <cstdint>
+
+namespace lrs::sim {
+
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+inline constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+inline constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace lrs::sim

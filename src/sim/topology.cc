@@ -1,0 +1,81 @@
+#include "sim/topology.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lrs::sim {
+
+double LinkModel::prr(double distance) const {
+  if (distance <= connected_radius) return max_prr;
+  if (distance >= outer_radius) return 0.0;
+  // Smooth cubic fall-off across the gray region.
+  const double t =
+      (distance - connected_radius) / (outer_radius - connected_radius);
+  const double shape = 1.0 - t * t * (3.0 - 2.0 * t);  // smoothstep down
+  return max_prr * shape;
+}
+
+LinkModel LinkModel::perfect() {
+  LinkModel link;
+  link.max_prr = 1.0;
+  return link;
+}
+
+Topology::Topology(std::vector<Position> positions, const LinkModel& link)
+    : positions_(std::move(positions)), link_(link) {
+  neighbors_.resize(positions_.size());
+  for (NodeId a = 0; a < positions_.size(); ++a) {
+    for (NodeId b = 0; b < positions_.size(); ++b) {
+      if (a != b && prr(a, b) > 0.0) neighbors_[a].push_back(b);
+    }
+  }
+}
+
+Topology Topology::star(std::size_t receivers, const LinkModel& link) {
+  std::vector<Position> pos;
+  pos.reserve(receivers + 1);
+  pos.push_back({0.0, 0.0});
+  // Place receivers on a small circle well inside the connected radius so
+  // that every pair of nodes hears every other (single collision domain).
+  const double r = link.connected_radius * 0.25;
+  for (std::size_t i = 0; i < receivers; ++i) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(receivers);
+    pos.push_back({r * std::cos(angle), r * std::sin(angle)});
+  }
+  return Topology(std::move(pos), link);
+}
+
+Topology Topology::grid(std::size_t rows, std::size_t cols, double spacing,
+                        const LinkModel& link) {
+  LRS_CHECK(rows >= 1 && cols >= 1);
+  std::vector<Position> pos;
+  pos.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      pos.push_back({static_cast<double>(c) * spacing,
+                     static_cast<double>(r) * spacing});
+    }
+  }
+  return Topology(std::move(pos), link);
+}
+
+double Topology::distance(NodeId a, NodeId b) const {
+  const auto& pa = positions_[a];
+  const auto& pb = positions_[b];
+  return std::hypot(pa.x - pb.x, pa.y - pb.y);
+}
+
+double Topology::prr(NodeId a, NodeId b) const {
+  return link_.prr(distance(a, b));
+}
+
+double Topology::mean_degree() const {
+  if (positions_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& nb : neighbors_) total += nb.size();
+  return static_cast<double>(total) / static_cast<double>(positions_.size());
+}
+
+}  // namespace lrs::sim

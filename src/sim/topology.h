@@ -1,0 +1,79 @@
+// Network topologies: node placement plus a link-quality model mapping
+// distance to packet reception rate (PRR).
+//
+// The paper evaluates a fully-connected one-hop cell (losses injected at the
+// application layer) and two 225-node TOSSIM mica2 grids
+// (15-15-tight / 15-15-medium). We rebuild those as 15x15 grids with tight
+// vs medium spacing and an empirical-shaped PRR-vs-distance curve: near-
+// perfect reception inside a connected radius, a transitional gray region
+// with steeply falling PRR, and silence beyond the outer radius — the
+// standard shape measured for mica2-class radios.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace lrs::sim {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// PRR-vs-distance curve parameters (distance units are arbitrary but
+/// consistent with node positions; defaults model a mica2-class radio with
+/// grid spacings of 10 = tight, 20 = medium).
+struct LinkModel {
+  double connected_radius = 18.0;  // PRR == max_prr inside
+  double outer_radius = 45.0;      // PRR == 0 beyond
+  double max_prr = 0.98;
+
+  double prr(double distance) const;
+
+  /// Error-free variant (max_prr = 1): models the paper's one-hop cell
+  /// where nodes are placed close enough to eliminate channel errors and
+  /// losses are injected at the application layer instead.
+  static LinkModel perfect();
+};
+
+class Topology {
+ public:
+  /// Fully connected cell: node 0 at the center, `receivers` nodes around
+  /// it, every pair within connected radius. Defaults to an error-free
+  /// link (paper §VI-A: losses are emulated at the application layer).
+  static Topology star(std::size_t receivers,
+                       const LinkModel& link = LinkModel::perfect());
+
+  /// rows x cols grid with the given spacing; node 0 is the corner node
+  /// (the base station's position in the paper's grid experiments).
+  static Topology grid(std::size_t rows, std::size_t cols, double spacing,
+                       const LinkModel& link = LinkModel{});
+
+  std::size_t size() const { return positions_.size(); }
+  const Position& position(NodeId id) const { return positions_[id]; }
+  const LinkModel& link_model() const { return link_; }
+
+  double distance(NodeId a, NodeId b) const;
+  /// Base PRR of the directed link a->b (0 when out of range).
+  double prr(NodeId a, NodeId b) const;
+
+  /// Nodes with non-zero PRR from `id` (potential receivers / carrier-sense
+  /// set).
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return neighbors_[id];
+  }
+
+  /// Mean neighbor count — densitometry for reporting.
+  double mean_degree() const;
+
+ private:
+  Topology(std::vector<Position> positions, const LinkModel& link);
+
+  std::vector<Position> positions_;
+  LinkModel link_;
+  std::vector<std::vector<NodeId>> neighbors_;
+};
+
+}  // namespace lrs::sim

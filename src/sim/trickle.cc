@@ -1,0 +1,41 @@
+#include "sim/trickle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lrs::sim {
+
+Trickle::Trickle(TrickleParams params, Rng* rng)
+    : params_(params), rng_(rng), tau_(params.tau_low) {
+  LRS_CHECK(params.tau_low > 0 && params.tau_low <= params.tau_high);
+  LRS_CHECK(rng != nullptr);
+}
+
+void Trickle::reset(SimTime now) {
+  tau_ = params_.tau_low;
+  interval_start_ = now;
+  heard_ = 0;
+  pick_fire_point();
+}
+
+void Trickle::heard_consistent() { ++heard_; }
+
+void Trickle::next_interval(SimTime now) {
+  tau_ = std::min(tau_ * 2, params_.tau_high);
+  interval_start_ = now;
+  heard_ = 0;
+  pick_fire_point();
+}
+
+void Trickle::pick_fire_point() {
+  // Uniform in [tau/2, tau) after the interval start.
+  const SimTime half = tau_ / 2;
+  const SimTime jitter =
+      half > 0 ? static_cast<SimTime>(
+                     rng_->uniform(static_cast<std::uint64_t>(half)))
+               : 0;
+  fire_time_ = interval_start_ + half + jitter;
+}
+
+}  // namespace lrs::sim

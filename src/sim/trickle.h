@@ -1,0 +1,60 @@
+// The Trickle algorithm (Levis et al., NSDI'04), used by Deluge-family
+// protocols to pace advertisements: the interval doubles from tau_l to
+// tau_h while the neighborhood is consistent, resets to tau_l on
+// inconsistency, and a broadcast within an interval is suppressed when at
+// least `redundancy` consistent messages were already overheard.
+//
+// This implementation is sans-IO: the owner feeds it the current time and
+// events, and asks when the next fire is due. The protocol nodes drive it
+// from their simulator timers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace lrs::sim {
+
+struct TrickleParams {
+  SimTime tau_low = 1 * kSecond;
+  SimTime tau_high = 60 * kSecond;
+  std::uint32_t redundancy = 2;  // 'kappa': suppress after this many heard
+};
+
+class Trickle {
+ public:
+  Trickle(TrickleParams params, Rng* rng);
+
+  /// (Re)starts at tau_low; call at protocol start or on inconsistency.
+  void reset(SimTime now);
+
+  /// Call when a consistent advertisement is overheard.
+  void heard_consistent();
+
+  /// Absolute time of the pending fire point t in [tau/2, tau).
+  SimTime fire_time() const { return fire_time_; }
+  /// Absolute end of the current interval.
+  SimTime interval_end() const { return interval_start_ + tau_; }
+
+  /// At the fire point: should the owner actually broadcast?
+  bool should_broadcast() const { return heard_ < params_.redundancy; }
+
+  /// Call when the current interval expires: doubles tau (capped) and opens
+  /// the next interval.
+  void next_interval(SimTime now);
+
+  SimTime tau() const { return tau_; }
+
+ private:
+  void pick_fire_point();
+
+  TrickleParams params_;
+  Rng* rng_;
+  SimTime tau_;
+  SimTime interval_start_ = 0;
+  SimTime fire_time_ = 0;
+  std::uint32_t heard_ = 0;
+};
+
+}  // namespace lrs::sim

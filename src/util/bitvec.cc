@@ -1,0 +1,119 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace lrs {
+
+BitVec::BitVec(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+BitVec::BitVec(std::size_t size, bool value) : BitVec(size) {
+  if (value) set_all();
+}
+
+bool BitVec::get(std::size_t i) const {
+  LRS_CHECK(i < size_);
+  return (words_[word_index(i)] & bit_mask(i)) != 0;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  LRS_CHECK(i < size_);
+  if (value)
+    words_[word_index(i)] |= bit_mask(i);
+  else
+    words_[word_index(i)] &= ~bit_mask(i);
+}
+
+void BitVec::set_all() {
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  trim_tail();
+}
+
+void BitVec::clear_all() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVec::trim_tail() {
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+std::size_t BitVec::count() const {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  LRS_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  LRS_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  LRS_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::subtract(const BitVec& other) {
+  LRS_CHECK(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::optional<std::size_t> BitVec::first_set(std::size_t from) const {
+  for (std::size_t i = from; i < size_; ++i) {
+    if (get(i)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> BitVec::first_set_cyclic(std::size_t from) const {
+  if (size_ == 0) return std::nullopt;
+  from %= size_;
+  for (std::size_t step = 0; step < size_; ++step) {
+    const std::size_t i = (from + step) % size_;
+    if (get(i)) return i;
+  }
+  return std::nullopt;
+}
+
+Bytes BitVec::to_bytes() const {
+  Bytes out(byte_size(), 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+BitVec BitVec::from_bytes(ByteView bytes, std::size_t size) {
+  LRS_CHECK(bytes.size() >= (size + 7) / 8);
+  BitVec v(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if ((bytes[i / 8] >> (i % 8)) & 1u) v.set(i);
+  }
+  return v;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace lrs

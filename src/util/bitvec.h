@@ -1,0 +1,79 @@
+// Fixed-length dynamic bit vector.
+//
+// Used for SNACK request bitmaps: bit j set means "packet j is requested"
+// (receiver does not have it yet). Provides the set algebra the TX-state
+// schedulers need (union, intersection, popcount, column scans).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace lrs {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  /// All bits cleared.
+  explicit BitVec(std::size_t size);
+  /// All bits set to `value`.
+  BitVec(std::size_t size, bool value);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void clear(std::size_t i) { set(i, false); }
+  void set_all();
+  void clear_all();
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const { return count() > 0; }
+  bool none() const { return count() == 0; }
+
+  /// In-place union / intersection / subtraction; sizes must match.
+  BitVec& operator|=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other);
+  /// Clears every bit that is set in `other`.
+  BitVec& subtract(const BitVec& other);
+  /// Symmetric difference (GF(2) addition).
+  BitVec& operator^=(const BitVec& other);
+
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+
+  bool operator==(const BitVec& other) const;
+
+  /// Index of the first set bit at or after `from` (no wrap), if any.
+  std::optional<std::size_t> first_set(std::size_t from = 0) const;
+  /// Index of the first set bit scanning cyclically starting at `from`.
+  std::optional<std::size_t> first_set_cyclic(std::size_t from) const;
+
+  /// Serialized length in bytes (ceil(size/8)); SNACK byte accounting uses it.
+  std::size_t byte_size() const { return (size_ + 7) / 8; }
+  /// Packs bits little-endian within bytes.
+  Bytes to_bytes() const;
+  /// Inverse of to_bytes(); `size` restores the exact bit length.
+  static BitVec from_bytes(ByteView bytes, std::size_t size);
+
+  /// "10110…" debugging aid.
+  std::string to_string() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+
+  static std::size_t word_index(std::size_t i) { return i / 64; }
+  static std::uint64_t bit_mask(std::size_t i) {
+    return std::uint64_t{1} << (i % 64);
+  }
+  void trim_tail();
+};
+
+}  // namespace lrs

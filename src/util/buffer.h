@@ -1,0 +1,70 @@
+// Bounds-checked binary serialization.
+//
+// All wire formats in the protocol layer are serialized through Writer and
+// parsed through Reader. Integers are little-endian. Reader signals malformed
+// input by returning std::nullopt from try_* accessors (protocol code treats
+// malformed packets as hostile and drops them) or throwing from the plain
+// accessors (internal use where malformation is a bug).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/types.h"
+
+namespace lrs {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix.
+  void bytes(ByteView b);
+  /// u16 length prefix followed by the bytes.
+  void sized_bytes(ByteView b);
+
+  const Bytes& data() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  std::optional<std::uint8_t> try_u8();
+  std::optional<std::uint16_t> try_u16();
+  std::optional<std::uint32_t> try_u32();
+  std::optional<std::uint64_t> try_u64();
+  /// Next `n` raw bytes.
+  std::optional<Bytes> try_bytes(std::size_t n);
+  /// u16 length prefix followed by that many bytes.
+  std::optional<Bytes> try_sized_bytes();
+
+  /// Throwing variants for internal deserialization where failure is a bug.
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes bytes(std::size_t n);
+  Bytes sized_bytes();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return remaining() == 0; }
+  /// Everything not yet consumed.
+  Bytes rest();
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lrs

@@ -1,0 +1,33 @@
+// Lightweight runtime checking macros.
+//
+// LRS_CHECK is always on (simulation code is not performance critical enough
+// to justify unchecked invariants); it throws std::logic_error so tests can
+// observe violations and RAII unwinds cleanly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lrs::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace lrs::detail
+
+#define LRS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::lrs::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LRS_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::lrs::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,37 @@
+// Tiny CSV + aligned-table writer for benchmark harness output.
+//
+// Every figure/table harness prints (a) an aligned human-readable table that
+// mirrors the paper's presentation and (b) machine-readable CSV, so results
+// can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lrs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with `precision` digits after the point.
+  void add_row(const std::vector<double>& row, int precision = 2);
+
+  /// Space-aligned rendering for terminals.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV (fields containing commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly ("12", "0.35", "1.2e+06"-free).
+std::string format_num(double v, int precision = 2);
+
+}  // namespace lrs

@@ -1,0 +1,19 @@
+// Hex encoding/decoding, used by tests (known-answer vectors) and logging.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace lrs {
+
+/// Lowercase hex string, two characters per byte.
+std::string to_hex(ByteView bytes);
+
+/// Parses a hex string (case-insensitive). Returns nullopt on odd length or
+/// non-hex characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace lrs

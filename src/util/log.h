@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// Protocol and simulator modules log through this; benches run with logging
+// off (the default is kWarn) so harness output stays clean. The logger is a
+// process-wide singleton because simulations are single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lrs {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logging:  LRS_LOG(kDebug) << "node " << id << " ...";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace lrs
+
+#define LRS_LOG(level)                                      \
+  if (::lrs::LogLevel::level < ::lrs::log_level()) {        \
+  } else                                                    \
+    ::lrs::LogLine(::lrs::LogLevel::level)

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component (channel losses, protocol jitter, workload
+// generation) draws from an Rng seeded explicitly, so whole simulations are
+// reproducible bit-for-bit from a single seed. The generator is
+// xoshiro256** (public domain, Blackman & Vigna) seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+
+namespace lrs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound), bound > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Geometric number of Bernoulli(p) trials until first success (>= 1).
+  std::uint64_t geometric(double p);
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lrs

@@ -1,0 +1,39 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lrs {
+
+void Summary::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void CounterSet::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+}
+
+void CounterSet::reset() { counters_.clear(); }
+
+}  // namespace lrs

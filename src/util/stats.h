@@ -1,0 +1,47 @@
+// Streaming statistics used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lrs {
+
+/// Welford-style streaming summary: count/mean/stddev/min/max.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A named bag of monotonically increasing counters.
+class CounterSet {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t get(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  void merge(const CounterSet& other);
+  void reset();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace lrs

@@ -1,0 +1,28 @@
+// Common scalar and buffer aliases used across the LR-Seluge code base.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lrs {
+
+/// Owned byte buffer. All wire payloads, blocks and digests use this.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteView = std::span<const std::uint8_t>;
+
+/// Non-owning mutable view over bytes.
+using MutByteView = std::span<std::uint8_t>;
+
+/// Node identifier inside a simulated network. 0 is reserved for the
+/// base station by convention (not enforced).
+using NodeId = std::uint32_t;
+
+/// Code-image version number carried in every protocol packet.
+using Version = std::uint32_t;
+
+inline ByteView view(const Bytes& b) { return {b.data(), b.size()}; }
+
+}  // namespace lrs

@@ -1,0 +1,162 @@
+// Analytical models (§V): closed-form Seluge expectation cross-checked
+// against independent Monte Carlo, ACK-based LR-Seluge model sanity and
+// monotonicity properties used by the Fig. 3 harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/one_hop.h"
+#include "util/rng.h"
+
+namespace lrs::analysis {
+namespace {
+
+TEST(SelugeModel, NoLossMeansOneTransmissionPerPacket) {
+  EXPECT_DOUBLE_EQ(seluge_expected_data_tx(32, 20, 0.0), 32.0);
+}
+
+TEST(SelugeModel, SingleReceiverMatchesGeometricMean) {
+  // One receiver: E[G] = 1 / (1 - p) per packet.
+  const double p = 0.3;
+  EXPECT_NEAR(seluge_expected_data_tx(1, 1, p), 1.0 / (1.0 - p), 1e-9);
+  EXPECT_NEAR(seluge_expected_data_tx(10, 1, p), 10.0 / (1.0 - p), 1e-8);
+}
+
+TEST(SelugeModel, MatchesMonteCarlo) {
+  const std::size_t k = 16, receivers = 10;
+  const double p = 0.25;
+  const double analytic = seluge_expected_data_tx(k, receivers, p);
+
+  Rng rng(123);
+  const int trials = 20000;
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t pkt = 0; pkt < k; ++pkt) {
+      // Transmissions of one packet = max over receivers of geometric.
+      std::uint64_t worst = 0;
+      for (std::size_t i = 0; i < receivers; ++i)
+        worst = std::max(worst, rng.geometric(1.0 - p));
+      total += static_cast<double>(worst);
+    }
+  }
+  EXPECT_NEAR(total / trials, analytic, analytic * 0.02);
+}
+
+TEST(SelugeModel, IncreasesWithLossAndReceivers) {
+  double prev = 0;
+  for (double p : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    const double v = seluge_expected_data_tx(32, 20, p);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  EXPECT_GT(seluge_expected_data_tx(32, 30, 0.2),
+            seluge_expected_data_tx(32, 10, 0.2));
+}
+
+TEST(SelugeModel, HeterogeneousLossDominatedByWorstReceiver) {
+  const std::vector<double> mixed{0.05, 0.1, 0.4};
+  const double v = seluge_expected_data_tx(8, mixed);
+  EXPECT_GT(v, seluge_expected_data_tx(8, 3, 0.05));
+  EXPECT_GT(v, seluge_expected_data_tx(8, 1, 0.4) - 1e-9);
+}
+
+TEST(AckLrModel, NoLossSendsExactlyKprime) {
+  AckLrModel model;
+  model.k_prime = 32;
+  model.n = 48;
+  model.receivers = 20;
+  model.loss = 0.0;
+  model.trials = 100;
+  EXPECT_DOUBLE_EQ(model.evaluate(), 32.0);
+  EXPECT_DOUBLE_EQ(model.expected_rounds(), 1.0);
+}
+
+TEST(AckLrModel, BoundedBelowByKprime) {
+  AckLrModel model;
+  model.k_prime = 16;
+  model.n = 24;
+  model.receivers = 5;
+  model.loss = 0.2;
+  model.trials = 2000;
+  EXPECT_GE(model.evaluate(), 16.0);
+}
+
+TEST(AckLrModel, IncreasesWithLoss) {
+  AckLrModel a, b;
+  a.k_prime = b.k_prime = 16;
+  a.n = b.n = 24;
+  a.receivers = b.receivers = 10;
+  a.trials = b.trials = 4000;
+  a.loss = 0.1;
+  b.loss = 0.35;
+  EXPECT_LT(a.evaluate(), b.evaluate());
+}
+
+TEST(AckLrModel, BeatsSelugeUnderLoss) {
+  // The headline comparison: for moderate loss and redundancy, the
+  // erasure-coded scheme transmits fewer data packets per page (for the
+  // same useful payload k).
+  const std::size_t k = 32, n = 48, receivers = 20;
+  const double p = 0.2;
+  AckLrModel lr;
+  lr.k_prime = k;
+  lr.n = n;
+  lr.receivers = receivers;
+  lr.loss = p;
+  lr.trials = 4000;
+  EXPECT_LT(lr.evaluate(), seluge_expected_data_tx(k, receivers, p));
+}
+
+TEST(AckLrModel, LessSensitiveToReceiversThanSeluge) {
+  // Fig. 5 shape: Seluge grows faster with N than LR-Seluge.
+  const double p = 0.1;
+  AckLrModel lr_small, lr_big;
+  lr_small.k_prime = lr_big.k_prime = 32;
+  lr_small.n = lr_big.n = 48;
+  lr_small.loss = lr_big.loss = p;
+  lr_small.trials = lr_big.trials = 3000;
+  lr_small.receivers = 5;
+  lr_big.receivers = 30;
+  const double lr_growth = lr_big.evaluate() / lr_small.evaluate();
+  const double seluge_growth = seluge_expected_data_tx(32, 30, p) /
+                               seluge_expected_data_tx(32, 5, p);
+  EXPECT_LT(lr_growth, seluge_growth);
+}
+
+TEST(AckLrModel, HeterogeneousLossSupported) {
+  AckLrModel model;
+  model.k_prime = 8;
+  model.n = 12;
+  model.loss_per_receiver = {0.0, 0.3};
+  model.trials = 2000;
+  const double v = model.evaluate();
+  EXPECT_GE(v, 8.0);
+  EXPECT_LT(v, 20.0);
+}
+
+TEST(OneRoundCompletion, MatchesBinomialEdgeCases) {
+  EXPECT_DOUBLE_EQ(one_round_completion_probability(8, 8, 0.0), 1.0);
+  EXPECT_NEAR(one_round_completion_probability(1, 1, 0.3), 0.7, 1e-12);
+  // k'=1, n=2: 1 - p^2.
+  EXPECT_NEAR(one_round_completion_probability(1, 2, 0.3), 1 - 0.09, 1e-12);
+}
+
+TEST(OneRoundCompletion, StepBehindFig3) {
+  // With k'=32, n=48: one round almost always suffices at p=0.2 but almost
+  // never at p=0.5 — the step the paper sees between p=0.3 and p=0.4.
+  EXPECT_GT(one_round_completion_probability(32, 48, 0.2), 0.95);
+  EXPECT_NEAR(one_round_completion_probability(32, 48, 0.4), 0.214, 0.01);
+  EXPECT_LT(one_round_completion_probability(32, 48, 0.5), 0.05);
+}
+
+TEST(OneRoundCompletion, MonotoneInP) {
+  double prev = 1.1;
+  for (double p : {0.05, 0.15, 0.25, 0.35, 0.45}) {
+    const double v = one_round_completion_probability(32, 48, p);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace lrs::analysis

@@ -1,0 +1,365 @@
+// Security experiments: forged data/signature floods against live
+// disseminations, buffer-pollution comparison against the unauthenticated
+// baseline, and the denial-of-receipt mitigation.
+#include <gtest/gtest.h>
+
+#include "attack/adversary.h"
+#include "core/experiment.h"
+#include "core/lr_image.h"
+#include "crypto/wots.h"
+#include "proto/deluge.h"
+#include "proto/engine.h"
+
+namespace lrs {
+namespace {
+
+using attack::DenialOfReceiptConfig;
+using attack::DenialOfReceiptNode;
+using attack::InjectorConfig;
+using attack::InjectorNode;
+using core::make_lr_receiver;
+using core::make_lr_source;
+
+proto::CommonParams small_params() {
+  proto::CommonParams p;
+  p.payload_size = 32;
+  p.k = 8;
+  p.n = 12;
+  p.k0 = 4;
+  p.n0 = 8;
+  p.puzzle_strength = 10;
+  return p;
+}
+
+proto::EngineTiming fast_timing() {
+  proto::EngineTiming t;
+  t.trickle.tau_low = 250 * sim::kMillisecond;
+  t.trickle.tau_high = 8 * sim::kSecond;
+  return t;
+}
+
+/// One-hop cell: base station + `receivers` honest LR-Seluge nodes +
+/// one extra topology slot for the attacker (added by the caller).
+struct AttackRig {
+  explicit AttackRig(std::size_t receivers, std::uint64_t seed = 1)
+      : image(core::make_test_image(2048, 42)),
+        signer(view(Bytes{1, 2}), 2),
+        simulator(sim::Topology::star(receivers + 1),
+                  sim::make_perfect_channel(), sim::RadioParams{}, seed) {
+    params = small_params();
+    proto::EngineConfig cfg;
+    cfg.timing = fast_timing();
+    cfg.is_base_station = true;
+    nodes.push_back(&simulator.add_node<proto::DissemNode>(
+        make_lr_source(params, image, signer), cfg, params.cluster_key));
+    cfg.is_base_station = false;
+    for (std::size_t i = 0; i < receivers; ++i) {
+      nodes.push_back(&simulator.add_node<proto::DissemNode>(
+          make_lr_receiver(params, signer.root_public_key()), cfg,
+          params.cluster_key));
+    }
+  }
+
+  std::size_t honest_complete() const {
+    std::size_t done = 0;
+    for (std::size_t i = 1; i < nodes.size(); ++i)
+      done += nodes[i]->image_complete();
+    return done;
+  }
+
+  proto::CommonParams params;
+  Bytes image;
+  crypto::MultiKeySigner signer;
+  sim::Simulator simulator;
+  std::vector<proto::DissemNode*> nodes;
+};
+
+TEST(Attack, ForgedDataNeverAcceptedAndDisseminationSucceeds) {
+  AttackRig rig(4);
+  InjectorConfig icfg;
+  icfg.version = rig.params.version;
+  icfg.period = 15 * sim::kMillisecond;
+  icfg.data_pages = 5;
+  icfg.data_indices = rig.params.n;
+  icfg.data_payload_size = rig.params.payload_size;
+  auto& attacker = rig.simulator.add_node<InjectorNode>(icfg);
+
+  rig.simulator.run(600 * sim::kSecond,
+                    [&] { return rig.honest_complete() == 4; });
+  EXPECT_EQ(rig.honest_complete(), 4u);
+  EXPECT_GT(attacker.injected(), 100u);
+
+  // Every honest node reassembles the genuine image despite the flood.
+  for (std::size_t i = 1; i < rig.nodes.size(); ++i) {
+    EXPECT_EQ(rig.nodes[i]->scheme().assemble_image(), rig.image);
+  }
+  // Forged packets were rejected (cost: one hash each), never stored.
+  EXPECT_GT(rig.simulator.metrics().total_auth_failures(), 0u);
+}
+
+TEST(Attack, ForgedPacketCostIsOneHashNotASignature) {
+  AttackRig rig(2);
+  InjectorConfig icfg;
+  icfg.version = rig.params.version;
+  icfg.period = 10 * sim::kMillisecond;
+  icfg.data_payload_size = rig.params.payload_size;
+  rig.simulator.add_node<InjectorNode>(icfg);
+
+  rig.simulator.run(600 * sim::kSecond,
+                    [&] { return rig.honest_complete() == 2; });
+  ASSERT_EQ(rig.honest_complete(), 2u);
+  // Signature verifications stay at one per honest receiver: the flood
+  // never triggers expensive crypto.
+  EXPECT_EQ(rig.simulator.metrics().total_signature_verifications(), 2u);
+}
+
+TEST(Attack, PuzzlelessForgedSignaturesNeverReachVerification) {
+  AttackRig rig(3);
+  InjectorConfig icfg;
+  icfg.version = rig.params.version;
+  icfg.forge_data = false;
+  icfg.forge_signatures = true;
+  icfg.solve_puzzles = false;
+  icfg.puzzle_strength = rig.params.puzzle_strength;
+  icfg.period = 20 * sim::kMillisecond;
+  auto& attacker = rig.simulator.add_node<InjectorNode>(icfg);
+
+  rig.simulator.run(600 * sim::kSecond,
+                    [&] { return rig.honest_complete() == 3; });
+  ASSERT_EQ(rig.honest_complete(), 3u);
+  EXPECT_GT(attacker.injected(), 50u);
+  // Only the 3 genuine verifications happened; forged packets died at the
+  // puzzle check (with overwhelming probability a random solution fails).
+  const auto& m = rig.simulator.metrics();
+  EXPECT_LE(m.total_signature_verifications(), 3u + 1u);
+  std::uint64_t puzzle_rejects = 0;
+  for (NodeId i = 1; i <= 3; ++i)
+    puzzle_rejects += m.node(i).puzzle_rejections;
+  EXPECT_GT(puzzle_rejects, 0u);
+}
+
+TEST(Attack, SolvedPuzzleForgeriesStillFailSignature) {
+  AttackRig rig(2);
+  InjectorConfig icfg;
+  icfg.version = rig.params.version;
+  icfg.forge_data = false;
+  icfg.forge_signatures = true;
+  icfg.solve_puzzles = true;  // attacker pays 2^strength per packet
+  icfg.puzzle_strength = rig.params.puzzle_strength;
+  icfg.period = 200 * sim::kMillisecond;
+  rig.simulator.add_node<InjectorNode>(icfg);
+
+  rig.simulator.run(600 * sim::kSecond,
+                    [&] { return rig.honest_complete() == 2; });
+  ASSERT_EQ(rig.honest_complete(), 2u);
+  // Forged-but-puzzle-valid packets cost receivers signature checks, yet
+  // never bootstrap a false image: both nodes hold the genuine one.
+  for (std::size_t i = 1; i < rig.nodes.size(); ++i)
+    EXPECT_EQ(rig.nodes[i]->scheme().assemble_image(), rig.image);
+}
+
+TEST(Attack, DelugeBaselineIsCorruptedByTheSameFlood) {
+  // The contrast experiment: with no packet authentication, forged packets
+  // are stored and the recovered "image" is wrong (or never completes).
+  const auto params = small_params();
+  const Bytes image = core::make_test_image(2048, 42);
+  sim::Simulator simulator(sim::Topology::star(3),
+                           sim::make_perfect_channel(), sim::RadioParams{}, 3);
+  proto::EngineConfig cfg;
+  cfg.timing = fast_timing();
+  cfg.is_base_station = true;
+  std::vector<proto::DissemNode*> nodes;
+  nodes.push_back(&simulator.add_node<proto::DissemNode>(
+      proto::make_deluge_source(params, image), cfg, Bytes{}));
+  cfg.is_base_station = false;
+  for (int i = 0; i < 2; ++i) {
+    nodes.push_back(&simulator.add_node<proto::DissemNode>(
+        proto::make_deluge_receiver(params, image.size()), cfg, Bytes{}));
+  }
+  InjectorConfig icfg;
+  icfg.version = params.version;
+  icfg.period = 10 * sim::kMillisecond;
+  icfg.data_pages = 3;
+  icfg.data_indices = params.k;
+  icfg.data_payload_size = params.payload_size;
+  simulator.add_node<InjectorNode>(icfg);
+
+  simulator.run(300 * sim::kSecond, [&] {
+    return nodes[1]->image_complete() && nodes[2]->image_complete();
+  });
+
+  bool corrupted = false;
+  for (int i = 1; i <= 2; ++i) {
+    if (!nodes[i]->image_complete() ||
+        nodes[i]->scheme().assemble_image() != image) {
+      corrupted = true;
+    }
+  }
+  EXPECT_TRUE(corrupted);
+}
+
+TEST(Attack, DenialOfReceiptMitigationCapsService) {
+  // A compromised neighbor SNACKs forever; with the §IV-E mitigation the
+  // victim stops serving it after the per-page budget.
+  const auto params = small_params();
+  const Bytes image = core::make_test_image(1024, 9);
+  crypto::MultiKeySigner signer(view(Bytes{5}), 1);
+
+  for (bool mitigation : {true, false}) {
+    sim::Simulator simulator(sim::Topology::star(1),
+                             sim::make_perfect_channel(), sim::RadioParams{},
+                             7);
+    proto::EngineConfig cfg;
+    cfg.timing = fast_timing();
+    cfg.is_base_station = true;
+    cfg.dor_mitigation = mitigation;
+    cfg.dor_limit_factor = 2;
+    crypto::MultiKeySigner s(view(Bytes{5}), 1);
+    auto& victim = simulator.add_node<proto::DissemNode>(
+        make_lr_source(params, image, s), cfg, params.cluster_key);
+    (void)victim;
+
+    DenialOfReceiptConfig dcfg;
+    dcfg.version = params.version;
+    dcfg.victim = 0;
+    dcfg.page = 1;
+    dcfg.packets_in_page = params.n;
+    dcfg.period = 50 * sim::kMillisecond;
+    dcfg.cluster_key = params.cluster_key;
+    auto& attacker = simulator.add_node<DenialOfReceiptNode>(dcfg);
+
+    simulator.run(60 * sim::kSecond);
+    EXPECT_GT(attacker.snacks_sent(), 100u);
+    const auto served =
+        simulator.metrics().node(0).sent[static_cast<std::size_t>(
+            sim::PacketClass::kData)];
+    const auto ignored = simulator.metrics().node(0).snacks_ignored;
+    if (mitigation) {
+      // Budget: dor_limit_factor * k' packets for that page, ever.
+      EXPECT_LE(served, 2 * params.k + params.n);
+      EXPECT_GT(ignored, 50u);
+    } else {
+      // Unbounded bleed: every SNACK triggers up to k' transmissions.
+      EXPECT_GT(served, 2 * params.k + params.n);
+      EXPECT_EQ(ignored, 0u);
+    }
+  }
+}
+
+TEST(Attack, SpoofedSenderIdsDefeatDorBudgetUnderClusterKey) {
+  // The weakness the paper's §IV-E future work addresses: with a single
+  // shared cluster key, a compromised node rotates fake sender IDs and the
+  // per-neighbor budget never trips.
+  const auto params = small_params();
+  const Bytes image = core::make_test_image(1024, 9);
+  sim::Simulator simulator(sim::Topology::star(1), sim::make_perfect_channel(),
+                           sim::RadioParams{}, 7);
+  proto::EngineConfig cfg;
+  cfg.timing = fast_timing();
+  cfg.is_base_station = true;
+  cfg.dor_mitigation = true;
+  cfg.dor_limit_factor = 2;
+  crypto::MultiKeySigner s(view(Bytes{5}), 1);
+  simulator.add_node<proto::DissemNode>(make_lr_source(params, image, s), cfg,
+                                        params.cluster_key);
+  DenialOfReceiptConfig dcfg;
+  dcfg.version = params.version;
+  dcfg.victim = 0;
+  dcfg.page = 1;
+  dcfg.packets_in_page = params.n;
+  dcfg.period = 50 * sim::kMillisecond;
+  dcfg.cluster_key = params.cluster_key;
+  dcfg.rotate_sender_ids = true;  // fresh fake identity per SNACK
+  simulator.add_node<DenialOfReceiptNode>(dcfg);
+
+  simulator.run(60 * sim::kSecond);
+  const auto served = simulator.metrics().node(0).sent[static_cast<std::size_t>(
+      sim::PacketClass::kData)];
+  // Budget evaded: the victim bleeds far beyond any one identity's cap.
+  EXPECT_GT(served, 4 * 2 * params.k);
+}
+
+TEST(Attack, LeapSourceKeysStopSenderSpoofing) {
+  // Same attack with LEAP-style per-source SNACK keys: forged identities
+  // fail the MAC (the attacker holds only its own key), and SNACKs under
+  // its real identity hit the budget.
+  const auto params = small_params();
+  const Bytes image = core::make_test_image(1024, 9);
+  for (bool spoof : {true, false}) {
+    sim::Simulator simulator(sim::Topology::star(1),
+                             sim::make_perfect_channel(), sim::RadioParams{},
+                             7);
+    proto::EngineConfig cfg;
+    cfg.timing = fast_timing();
+    cfg.is_base_station = true;
+    cfg.dor_mitigation = true;
+    cfg.dor_limit_factor = 2;
+    cfg.leap_snack_auth = true;
+    cfg.leap_master = params.leap_master;
+    crypto::MultiKeySigner s(view(Bytes{5}), 1);
+    simulator.add_node<proto::DissemNode>(make_lr_source(params, image, s),
+                                          cfg, params.cluster_key);
+    DenialOfReceiptConfig dcfg;
+    dcfg.version = params.version;
+    dcfg.victim = 0;
+    dcfg.page = 1;
+    dcfg.packets_in_page = params.n;
+    dcfg.period = 50 * sim::kMillisecond;
+    // The compromised node's OWN derived key (NodeId 1 in this topology).
+    dcfg.cluster_key = proto::leap_source_key(view(params.leap_master), 1);
+    dcfg.rotate_sender_ids = spoof;
+    simulator.add_node<DenialOfReceiptNode>(dcfg);
+
+    simulator.run(60 * sim::kSecond);
+    const auto& m = simulator.metrics().node(0);
+    const auto served =
+        m.sent[static_cast<std::size_t>(sim::PacketClass::kData)];
+    if (spoof) {
+      // Every spoofed SNACK fails MAC verification: nothing served at all.
+      EXPECT_EQ(served, 0u);
+      EXPECT_GT(m.auth_failures, 50u);
+    } else {
+      // Honest identity: capped by the budget as designed.
+      EXPECT_LE(served, 2 * params.k + params.n);
+      EXPECT_GT(m.snacks_ignored, 0u);
+    }
+  }
+}
+
+TEST(Attack, LeapEndToEndStillDisseminates) {
+  // Sanity: honest dissemination works identically under LEAP SNACK auth.
+  core::ExperimentConfig cfg;
+  cfg.scheme = core::Scheme::kLrSeluge;
+  cfg.params = small_params();
+  cfg.params.leap_snack_auth = true;
+  cfg.image_size = 2048;
+  cfg.receivers = 4;
+  cfg.loss_p = 0.2;
+  cfg.timing = fast_timing();
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_complete);
+  EXPECT_TRUE(r.images_match);
+}
+
+TEST(Attack, TamperedControlPacketsRejectedByClusterMac) {
+  AttackRig rig(2);
+  // An attacker without the cluster key forges SNACKs at the base station;
+  // they must be MAC-rejected, producing zero service.
+  DenialOfReceiptConfig dcfg;
+  dcfg.version = rig.params.version;
+  dcfg.victim = 0;
+  dcfg.page = 1;
+  dcfg.packets_in_page = rig.params.n;
+  dcfg.period = 30 * sim::kMillisecond;
+  dcfg.cluster_key = Bytes{0xde, 0xad};  // wrong key
+  rig.simulator.add_node<DenialOfReceiptNode>(dcfg);
+
+  rig.simulator.run(600 * sim::kSecond,
+                    [&] { return rig.honest_complete() == 2; });
+  EXPECT_EQ(rig.honest_complete(), 2u);
+  // The forged SNACKs register as auth failures at the victim.
+  EXPECT_GT(rig.simulator.metrics().node(0).auth_failures, 10u);
+}
+
+}  // namespace
+}  // namespace lrs

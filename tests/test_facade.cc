@@ -1,0 +1,116 @@
+// The public Publisher/Receiver facade — the transport-agnostic library
+// surface a downstream user programs against (examples/quickstart.cpp).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/lr_seluge.h"
+
+namespace lrs::core {
+namespace {
+
+proto::CommonParams quick_params() {
+  proto::CommonParams p;
+  p.payload_size = 32;
+  p.k = 8;
+  p.n = 12;
+  p.k0 = 4;
+  p.n0 = 8;
+  p.puzzle_strength = 4;
+  return p;
+}
+
+TEST(Facade, PublishTransferRecover) {
+  Publisher pub(quick_params(), view(Bytes{1, 2, 3}));
+  const Bytes image = make_test_image(1500, 21);
+  auto prepared = pub.prepare(image);
+
+  Receiver rx(quick_params(), pub.root_public_key());
+  EXPECT_FALSE(rx.bootstrapped());
+  ASSERT_TRUE(rx.feed_signature(view(prepared->signature_frame().value())));
+  EXPECT_TRUE(rx.bootstrapped());
+  EXPECT_GT(rx.total_pages(), 1u);
+
+  for (std::uint32_t p = 0; p < prepared->num_pages(); ++p) {
+    for (std::uint32_t j = 0; j < prepared->packets_in_page(p); ++j) {
+      if (rx.pages_complete() > p) break;
+      rx.feed_data(p, j, view(prepared->packet_payload(p, j).value()));
+    }
+  }
+  ASSERT_TRUE(rx.complete());
+  EXPECT_EQ(rx.image(), image);
+}
+
+TEST(Facade, RequestBitsShrinkAsPacketsArrive) {
+  Publisher pub(quick_params(), view(Bytes{4}));
+  const Bytes image = make_test_image(1500, 22);
+  auto prepared = pub.prepare(image);
+  Receiver rx(quick_params(), pub.root_public_key());
+  rx.feed_signature(view(prepared->signature_frame().value()));
+
+  const auto before = rx.request_bits();
+  EXPECT_EQ(before.count(), before.size());
+  rx.feed_data(0, 0, view(prepared->packet_payload(0, 0).value()));
+  const auto after = rx.request_bits();
+  EXPECT_EQ(after.count(), before.count() - 1);
+  EXPECT_FALSE(after.get(0));
+}
+
+TEST(Facade, SignerCapacityDepletes) {
+  Publisher pub(quick_params(), view(Bytes{5}), /*key_height=*/1);
+  EXPECT_EQ(pub.signatures_left(), 2u);
+  const Bytes image = make_test_image(600, 23);
+  pub.prepare(image);
+  EXPECT_EQ(pub.signatures_left(), 1u);
+  pub.prepare(image);
+  EXPECT_EQ(pub.signatures_left(), 0u);
+  EXPECT_THROW(pub.prepare(image), std::runtime_error);
+}
+
+TEST(Facade, TwoImagesFromOneRootBothVerify) {
+  Publisher pub(quick_params(), view(Bytes{6}), 1);
+  const Bytes image_a = make_test_image(800, 24);
+  const Bytes image_b = make_test_image(800, 25);
+  auto a = pub.prepare(image_a);
+  auto b = pub.prepare(image_b);
+
+  for (const auto* prepared : {a.get(), b.get()}) {
+    Receiver rx(quick_params(), pub.root_public_key());
+    ASSERT_TRUE(
+        rx.feed_signature(view(prepared->signature_frame().value())));
+  }
+}
+
+TEST(Facade, WrongRootRejectsSignature) {
+  Publisher alice(quick_params(), view(Bytes{7}));
+  Publisher mallory(quick_params(), view(Bytes{8}));
+  const Bytes image = make_test_image(800, 26);
+  auto forged = mallory.prepare(image);
+  Receiver rx(quick_params(), alice.root_public_key());
+  EXPECT_FALSE(rx.feed_signature(view(forged->signature_frame().value())));
+  EXPECT_FALSE(rx.bootstrapped());
+}
+
+TEST(Facade, MetricsExposeVerificationWork) {
+  Publisher pub(quick_params(), view(Bytes{9}));
+  const Bytes image = make_test_image(800, 27);
+  auto prepared = pub.prepare(image);
+  Receiver rx(quick_params(), pub.root_public_key());
+  rx.feed_signature(view(prepared->signature_frame().value()));
+  rx.feed_data(0, 0, view(prepared->packet_payload(0, 0).value()));
+  EXPECT_EQ(rx.metrics().signature_verifications, 1u);
+  EXPECT_GT(rx.metrics().hash_verifications, 0u);
+}
+
+TEST(Facade, EmptyImageRejected) {
+  Publisher pub(quick_params(), view(Bytes{10}));
+  EXPECT_THROW(pub.prepare(Bytes{}), std::logic_error);
+}
+
+TEST(Facade, InvalidGeometryRejectedAtConstruction) {
+  auto p = quick_params();
+  p.n0 = 7;  // not a power of two
+  EXPECT_THROW(Publisher(p, view(Bytes{11})), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lrs::core

@@ -1,0 +1,131 @@
+// Parameter-grid property tests: every (payload, k, n, k0, n0, image-size)
+// combination must preprocess, authenticate, decode under loss, and
+// reassemble byte-exactly — for both secure schemes. These sweeps guard
+// the page-capacity arithmetic (hash blocks, padding, last-page handling)
+// against off-by-one regressions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.h"
+#include "core/lr_image.h"
+#include "crypto/wots.h"
+#include "proto/seluge.h"
+#include "util/rng.h"
+
+namespace lrs {
+namespace {
+
+using proto::CommonParams;
+using proto::DataStatus;
+using proto::SchemeState;
+
+// (payload, k, n, k0, n0, image_size)
+using Geometry =
+    std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+               std::size_t, std::size_t>;
+
+CommonParams params_for(const Geometry& g) {
+  CommonParams p;
+  p.payload_size = std::get<0>(g);
+  p.k = std::get<1>(g);
+  p.n = std::get<2>(g);
+  p.k0 = std::get<3>(g);
+  p.n0 = std::get<4>(g);
+  p.puzzle_strength = 2;
+  return p;
+}
+
+class LrGeometry : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(LrGeometry, LossyTransferIsByteExact) {
+  const auto params = params_for(GetParam());
+  const std::size_t image_size = std::get<5>(GetParam());
+  const Bytes image = core::make_test_image(image_size, image_size);
+
+  crypto::MultiKeySigner signer(view(Bytes{1}), 1);
+  auto src = core::make_lr_source(params, image, signer);
+  auto dst = core::make_lr_receiver(params, signer.root_public_key());
+  sim::NodeMetrics m;
+  ASSERT_TRUE(dst->on_signature(view(src->signature_frame().value()), m));
+
+  // Drop a deterministic pseudo-random (n - k') subset of each page.
+  Rng rng(image_size * 31 + params.n);
+  for (std::uint32_t p = 0; p < src->num_pages(); ++p) {
+    const std::size_t count = src->packets_in_page(p);
+    const std::size_t threshold = src->decode_threshold(p);
+    std::vector<std::uint32_t> order(count);
+    for (std::size_t j = 0; j < count; ++j)
+      order[j] = static_cast<std::uint32_t>(j);
+    for (std::size_t j = 0; j + 1 < count; ++j)
+      std::swap(order[j], order[j + rng.uniform(count - j)]);
+    order.resize(threshold);  // deliver exactly k' random packets
+    for (auto j : order) {
+      const auto status =
+          dst->on_data(p, j, view(src->packet_payload(p, j).value()), m);
+      ASSERT_NE(status, DataStatus::kRejected)
+          << "page " << p << " idx " << j;
+    }
+    ASSERT_EQ(dst->pages_complete(), p + 1) << "page " << p;
+  }
+  ASSERT_TRUE(dst->image_complete());
+  EXPECT_EQ(dst->assemble_image(), image);
+  EXPECT_EQ(m.auth_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LrGeometry,
+    ::testing::Values(
+        // payload, k, n, k0, n0, image size
+        Geometry{16, 4, 6, 2, 4, 100},        // tiny everything
+        Geometry{16, 4, 6, 2, 4, 1},          // one-byte image
+        Geometry{32, 8, 12, 4, 8, 256},       // image == exactly one page
+        Geometry{32, 8, 12, 4, 8, 257},       // one page + 1 byte
+        Geometry{32, 8, 8, 4, 8, 500},        // n == k (no redundancy)
+        Geometry{32, 8, 16, 8, 16, 2000},     // rate 2, k0 == n0/2
+        Geometry{48, 12, 20, 4, 8, 3000},     // non-power-of-two k
+        Geometry{64, 32, 48, 8, 16, 20480},   // the paper's configuration
+        Geometry{64, 32, 64, 16, 32, 8192},   // deep hash page
+        Geometry{128, 16, 24, 4, 16, 10000},  // big packets
+        Geometry{24, 16, 24, 2, 2, 1000},     // minimal hash-page code
+        Geometry{40, 10, 15, 5, 8, 4096}));   // odd sizes everywhere
+
+class SelugeGeometry : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(SelugeGeometry, FullTransferIsByteExact) {
+  const auto params = params_for(GetParam());
+  const std::size_t image_size = std::get<5>(GetParam());
+  const Bytes image = core::make_test_image(image_size, image_size + 7);
+
+  crypto::MultiKeySigner signer(view(Bytes{2}), 1);
+  auto src = proto::make_seluge_source(params, image, signer);
+  auto dst = proto::make_seluge_receiver(params, signer.root_public_key());
+  sim::NodeMetrics m;
+  ASSERT_TRUE(dst->on_signature(view(src->signature_frame().value()), m));
+
+  for (std::uint32_t p = 0; p < src->num_pages(); ++p) {
+    for (std::uint32_t j = 0; j < src->packets_in_page(p); ++j) {
+      const auto status =
+          dst->on_data(p, j, view(src->packet_payload(p, j).value()), m);
+      ASSERT_NE(status, DataStatus::kRejected)
+          << "page " << p << " idx " << j;
+    }
+    ASSERT_EQ(dst->pages_complete(), p + 1);
+  }
+  ASSERT_TRUE(dst->image_complete());
+  EXPECT_EQ(dst->assemble_image(), image);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SelugeGeometry,
+    ::testing::Values(Geometry{16, 4, 0, 0, 0, 100},
+                      Geometry{16, 4, 0, 0, 0, 1},
+                      Geometry{32, 8, 0, 0, 0, 256},
+                      Geometry{32, 8, 0, 0, 0, 257},
+                      Geometry{64, 32, 0, 0, 0, 20480},
+                      Geometry{64, 48, 0, 0, 0, 8192},
+                      Geometry{24, 5, 0, 0, 0, 1000},
+                      Geometry{128, 16, 0, 0, 0, 10000}));
+
+}  // namespace
+}  // namespace lrs

@@ -1,0 +1,225 @@
+// Wire-format round trips, MAC enforcement on control packets, and
+// malformed/hostile input handling. Also covers the page layout math.
+#include <gtest/gtest.h>
+
+#include "proto/layout.h"
+#include "proto/packet.h"
+
+namespace lrs::proto {
+namespace {
+
+const Bytes kKey{1, 2, 3, 4};
+
+TEST(AdvertisementTest, RoundTripWithMac) {
+  Advertisement a;
+  a.version = 7;
+  a.sender = 12;
+  a.pages_complete = 5;
+  a.bootstrapped = true;
+  const Bytes frame = a.serialize(view(kKey));
+  EXPECT_EQ(peek_type(view(frame)), PacketType::kAdvertisement);
+  const auto back = Advertisement::parse(view(frame), view(kKey));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, 7u);
+  EXPECT_EQ(back->sender, 12u);
+  EXPECT_EQ(back->pages_complete, 5u);
+  EXPECT_TRUE(back->bootstrapped);
+}
+
+TEST(AdvertisementTest, TamperedMacRejected) {
+  Advertisement a;
+  a.version = 1;
+  Bytes frame = a.serialize(view(kKey));
+  frame[2] ^= 1;
+  EXPECT_FALSE(Advertisement::parse(view(frame), view(kKey)).has_value());
+}
+
+TEST(AdvertisementTest, WrongKeyRejected) {
+  Advertisement a;
+  const Bytes frame = a.serialize(view(kKey));
+  const Bytes other{9, 9};
+  EXPECT_FALSE(Advertisement::parse(view(frame), view(other)).has_value());
+}
+
+TEST(AdvertisementTest, NoKeyMeansNoMac) {
+  Advertisement a;
+  a.pages_complete = 3;
+  const Bytes frame = a.serialize({});
+  const auto back = Advertisement::parse(view(frame), {});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->pages_complete, 3u);
+}
+
+TEST(SnackTest, RoundTripPreservesBitmap) {
+  Snack s;
+  s.version = 2;
+  s.sender = 4;
+  s.target = 9;
+  s.page = 3;
+  s.requested = BitVec(48);
+  s.requested.set(0);
+  s.requested.set(13);
+  s.requested.set(47);
+  const Bytes frame = s.serialize(view(kKey));
+  const auto back = Snack::parse(view(frame), view(kKey));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->requested, s.requested);
+  EXPECT_EQ(back->target, 9u);
+  EXPECT_EQ(back->page, 3u);
+}
+
+TEST(SnackTest, LrBitmapIsLongerOnTheWire) {
+  // Paper: LR-Seluge SNACKs are n-k bits longer than Seluge's.
+  Snack lr, seluge;
+  lr.requested = BitVec(48);      // n
+  seluge.requested = BitVec(32);  // k
+  EXPECT_EQ(lr.serialize(view(kKey)).size() -
+                seluge.serialize(view(kKey)).size(),
+            (48 - 32) / 8u);
+}
+
+TEST(SnackTest, SignatureRequestSentinelRoundTrips) {
+  Snack s;
+  s.page = kSignatureRequestPage;
+  const auto back = Snack::parse(view(s.serialize(view(kKey))), view(kKey));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->page, kSignatureRequestPage);
+}
+
+TEST(DataPacketTest, RoundTrip) {
+  DataPacket d;
+  d.version = 1;
+  d.page = 6;
+  d.index = 40;
+  d.payload = Bytes(64, 0xab);
+  const Bytes frame = d.serialize();
+  const auto back = DataPacket::parse(view(frame));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->page, 6u);
+  EXPECT_EQ(back->index, 40u);
+  EXPECT_EQ(back->payload, d.payload);
+}
+
+TEST(DataPacketTest, HashPreimageBindsPosition) {
+  DataPacket a, b;
+  a.payload = b.payload = Bytes(8, 1);
+  a.page = 1;
+  b.page = 2;
+  EXPECT_NE(a.hash_preimage(), b.hash_preimage());
+  b.page = 1;
+  b.index = 5;
+  EXPECT_NE(a.hash_preimage(), b.hash_preimage());
+}
+
+TEST(DataPacketTest, MalformedInputsFailSoft) {
+  Bytes garbage{3, 1, 2};  // type byte of data, then truncation
+  EXPECT_FALSE(DataPacket::parse(view(garbage)).has_value());
+  Bytes empty;
+  EXPECT_FALSE(peek_type(view(empty)).has_value());
+  Bytes unknown{200};
+  EXPECT_FALSE(peek_type(view(unknown)).has_value());
+}
+
+TEST(DataPacketTest, TrailingGarbageRejected) {
+  DataPacket d;
+  d.payload = Bytes(4, 1);
+  Bytes frame = d.serialize();
+  frame.push_back(0);
+  EXPECT_FALSE(DataPacket::parse(view(frame)).has_value());
+}
+
+TEST(SignaturePacketTest, RoundTrip) {
+  SignaturePacket p;
+  p.meta.version = 3;
+  p.meta.content_pages = 12;
+  p.meta.image_size = 20480;
+  p.root.fill(0x5a);
+  p.puzzle = {10, 777};
+  p.signature = Bytes(100, 0xcd);
+  const auto back = SignaturePacket::parse(view(p.serialize()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->meta.content_pages, 12u);
+  EXPECT_EQ(back->meta.image_size, 20480u);
+  EXPECT_EQ(back->root, p.root);
+  EXPECT_EQ(back->puzzle.solution, 777u);
+  EXPECT_EQ(back->signature, p.signature);
+}
+
+TEST(SignaturePacketTest, SignedMessageCoversMetaAndRoot) {
+  SignaturePacket a, b;
+  a.root.fill(1);
+  b.root.fill(1);
+  b.meta.content_pages = 99;
+  EXPECT_NE(a.signed_message(), b.signed_message());
+  b.meta = a.meta;
+  b.root.fill(2);
+  EXPECT_NE(a.signed_message(), b.signed_message());
+}
+
+// ---------------------------------------------------------------------------
+// Page layout math
+// ---------------------------------------------------------------------------
+
+TEST(LayoutTest, SinglePageWhenImageFitsLastCapacity) {
+  const auto l = compute_layout(100, 50, 200);
+  EXPECT_EQ(l.content_pages, 1u);
+}
+
+TEST(LayoutTest, PageCountFormula) {
+  // 1000 bytes, mid 100, last 150: 1 + ceil((1000-150)/100) = 10.
+  const auto l = compute_layout(1000, 100, 150);
+  EXPECT_EQ(l.content_pages, 10u);
+}
+
+TEST(LayoutTest, SliceRoundTrip) {
+  Bytes image(1000);
+  for (std::size_t i = 0; i < image.size(); ++i)
+    image[i] = static_cast<std::uint8_t>(i);
+  const auto l = compute_layout(image.size(), 96, 128);
+  Bytes rebuilt(image.size(), 0);
+  for (std::size_t p = 1; p <= l.content_pages; ++p) {
+    const Bytes slice = page_slice(view(image), l, p);
+    EXPECT_EQ(slice.size(), p < l.content_pages ? 96u : 128u);
+    place_slice(rebuilt, l, p, view(slice));
+  }
+  EXPECT_EQ(rebuilt, image);
+}
+
+TEST(LayoutTest, LastPagePadsWithZeros) {
+  Bytes image(130, 0xff);
+  const auto l = compute_layout(image.size(), 100, 100);
+  EXPECT_EQ(l.content_pages, 2u);
+  const Bytes last = page_slice(view(image), l, 2);
+  EXPECT_EQ(last.size(), 100u);
+  EXPECT_EQ(last[29], 0xff);
+  EXPECT_EQ(last[30], 0x00);  // padding
+}
+
+TEST(LayoutTest, SplitBlocksPadsEvenly) {
+  Bytes data(10, 7);
+  const auto blocks = split_blocks(view(data), 4);
+  ASSERT_EQ(blocks.size(), 4u);
+  for (const auto& b : blocks) EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(blocks[3][0], 7);   // byte 9
+  EXPECT_EQ(blocks[3][1], 0);   // padding
+}
+
+TEST(LayoutTest, SplitFixedUsesExactBlockSize) {
+  Bytes data(10, 9);
+  const auto blocks = split_fixed(view(data), 4, 3);
+  ASSERT_EQ(blocks.size(), 3u);
+  for (const auto& b : blocks) EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(blocks[2][1], 9);
+  EXPECT_EQ(blocks[2][2], 0);
+  EXPECT_THROW(split_fixed(view(data), 4, 2), std::logic_error);
+}
+
+TEST(LayoutTest, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+}
+
+}  // namespace
+}  // namespace lrs::proto

@@ -1,0 +1,205 @@
+// TX schedulers: the union scheduler (Deluge/Seluge) and LR-Seluge's greedy
+// round-robin tracking table, including a worked example mirroring the
+// paper's Table I walk-through (first pick = most popular with lowest
+// index; next picks sweep cyclically right; entries leave as soon as their
+// distance reaches zero, before their full request is served).
+#include <gtest/gtest.h>
+
+#include "core/greedy_scheduler.h"
+#include "proto/scheduler.h"
+#include "util/rng.h"
+
+namespace lrs {
+namespace {
+
+using core::GreedyRoundRobinScheduler;
+using proto::make_union_scheduler;
+
+BitVec bits(std::size_t n, std::initializer_list<std::size_t> set) {
+  BitVec v(n);
+  for (auto i : set) v.set(i);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// UnionScheduler
+// ---------------------------------------------------------------------------
+
+TEST(UnionScheduler, ServesUnionInIndexOrder) {
+  auto s = make_union_scheduler(6);
+  s->on_snack(1, bits(6, {0, 3}), 2);
+  s->on_snack(2, bits(6, {3, 5}), 2);
+  EXPECT_EQ(s->next_packet().value(), 0u);
+  EXPECT_EQ(s->next_packet().value(), 3u);
+  EXPECT_EQ(s->next_packet().value(), 5u);
+  EXPECT_FALSE(s->next_packet().has_value());
+  EXPECT_TRUE(s->idle());
+}
+
+TEST(UnionScheduler, SendsEveryRequestedPacketRegardlessOfDistance) {
+  // The union scheduler must ignore `needed`: ARQ receivers need exactly
+  // the packets they asked for.
+  auto s = make_union_scheduler(4);
+  s->on_snack(1, bits(4, {0, 1, 2, 3}), 1);
+  std::size_t count = 0;
+  while (s->next_packet()) ++count;
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(UnionScheduler, LaterSnackMergesMidService) {
+  auto s = make_union_scheduler(4);
+  s->on_snack(1, bits(4, {1}), 1);
+  EXPECT_EQ(s->next_packet().value(), 1u);
+  s->on_snack(2, bits(4, {0, 2}), 2);
+  EXPECT_EQ(s->next_packet().value(), 2u);  // cyclic from last+1
+  EXPECT_EQ(s->next_packet().value(), 0u);
+  EXPECT_TRUE(s->idle());
+}
+
+TEST(UnionScheduler, OverheardDataClearsPending) {
+  auto s = make_union_scheduler(4);
+  s->on_snack(1, bits(4, {1, 2}), 2);
+  s->on_overheard_data(2);
+  EXPECT_EQ(s->next_packet().value(), 1u);
+  EXPECT_FALSE(s->next_packet().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// GreedyRoundRobinScheduler — paper Table I style walk-through
+// ---------------------------------------------------------------------------
+
+TEST(GreedyScheduler, TableIWalkThrough) {
+  // n = 4, k' = 3. Distances d = q + k' - n = q - 1.
+  //   v1 wants {P2, P4}        -> d = 1
+  //   v2 wants {P1, P2, P4}    -> d = 2
+  //   v3 wants {P1, P2}        -> d = 1
+  // Popularity: P1:2  P2:3  P3:0  P4:2.
+  GreedyRoundRobinScheduler s(4);
+  s.on_snack(1, bits(4, {1, 3}), 1);
+  s.on_snack(2, bits(4, {0, 1, 3}), 2);
+  s.on_snack(3, bits(4, {0, 1}), 1);
+  EXPECT_EQ(s.popularity(1), 3u);
+
+  // Highest popularity: P2 (0-based index 1).
+  EXPECT_EQ(s.next_packet().value(), 1u);
+  // v1 and v3 reach distance 0 and leave although P4/P1 were never sent.
+  EXPECT_EQ(s.tracked(), 1u);
+  EXPECT_EQ(s.distance(2), 1u);
+
+  // First packet to the right of P2 with max popularity: P4.
+  EXPECT_EQ(s.next_packet().value(), 3u);
+  EXPECT_TRUE(s.idle());
+  EXPECT_FALSE(s.next_packet().has_value());
+
+  // Total: 2 transmissions versus 3 for the union {P1, P2, P4}.
+}
+
+TEST(GreedyScheduler, ThreeTransmissionSequenceSweepsRight) {
+  // v1 wants everything (d = 3), v2 wants {P2, P3} (d = 1).
+  GreedyRoundRobinScheduler s(4);
+  s.on_snack(1, bits(4, {0, 1, 2, 3}), 3);
+  s.on_snack(2, bits(4, {1, 2}), 1);
+  EXPECT_EQ(s.next_packet().value(), 1u);  // P2: pop 2, lowest index
+  EXPECT_EQ(s.next_packet().value(), 2u);  // sweep right
+  EXPECT_EQ(s.next_packet().value(), 3u);
+  EXPECT_TRUE(s.idle());                   // v1's d hit 0; P1 never sent
+}
+
+TEST(GreedyScheduler, FirstPickPrefersLowestIndexOnTies) {
+  GreedyRoundRobinScheduler s(5);
+  s.on_snack(1, bits(5, {2, 4}), 2);
+  EXPECT_EQ(s.next_packet().value(), 2u);
+}
+
+TEST(GreedyScheduler, WrapsAroundCyclically) {
+  GreedyRoundRobinScheduler s(4);
+  s.on_snack(1, bits(4, {0, 3}), 2);
+  EXPECT_EQ(s.next_packet().value(), 0u);
+  EXPECT_EQ(s.next_packet().value(), 3u);
+}
+
+TEST(GreedyScheduler, StopsExactlyAtDistance) {
+  // One receiver missing everything of an n=6, k'=4 page: q=6, d=4.
+  GreedyRoundRobinScheduler s(6);
+  s.on_snack(1, bits(6, {0, 1, 2, 3, 4, 5}), 4);
+  std::size_t sent = 0;
+  while (s.next_packet()) ++sent;
+  EXPECT_EQ(sent, 4u);  // not 6: the receiver can decode after k' = 4
+}
+
+TEST(GreedyScheduler, FreshSnackUpdatesExistingEntry) {
+  GreedyRoundRobinScheduler s(4);
+  s.on_snack(1, bits(4, {0, 1, 2, 3}), 3);
+  EXPECT_EQ(s.next_packet().value(), 0u);
+  // The receiver lost packet 0 and re-requests: entry is replaced.
+  s.on_snack(1, bits(4, {0, 1, 2, 3}), 3);
+  EXPECT_EQ(s.distance(1), 3u);
+  std::size_t sent = 0;
+  while (s.next_packet()) ++sent;
+  EXPECT_EQ(sent, 3u);
+}
+
+TEST(GreedyScheduler, ZeroNeededOrEmptyRequestClearsEntry) {
+  GreedyRoundRobinScheduler s(4);
+  s.on_snack(1, bits(4, {0}), 1);
+  s.on_snack(1, bits(4, {}), 1);
+  EXPECT_TRUE(s.idle());
+  s.on_snack(2, bits(4, {1}), 0);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(GreedyScheduler, OverheardDataCountsTowardDistances) {
+  GreedyRoundRobinScheduler s(4);
+  s.on_snack(1, bits(4, {0, 1}), 1);
+  s.on_overheard_data(1);  // another server sent P2
+  EXPECT_TRUE(s.idle());   // v1's distance hit zero
+}
+
+TEST(GreedyScheduler, PopularityDrivesOrderAcrossManyNodes) {
+  GreedyRoundRobinScheduler s(8);
+  for (NodeId v = 0; v < 10; ++v) {
+    // Everyone wants packet 6; only some want others.
+    BitVec b(8);
+    b.set(6);
+    b.set(v % 8);
+    s.on_snack(v, b, 1);
+  }
+  EXPECT_EQ(s.next_packet().value(), 6u);
+  EXPECT_TRUE(s.idle());  // one packet satisfied every distance-1 neighbor
+}
+
+TEST(GreedyScheduler, BacklogReflectsWorstDistance) {
+  GreedyRoundRobinScheduler s(6);
+  EXPECT_EQ(s.backlog(), 0u);
+  s.on_snack(1, bits(6, {0, 1, 2, 3}), 2);
+  s.on_snack(2, bits(6, {0, 1, 2, 3, 4}), 3);
+  EXPECT_EQ(s.backlog(), 3u);
+}
+
+TEST(GreedyScheduler, NeverExceedsUnionScheduler) {
+  // Property: for random request patterns, greedy transmissions <= union.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 8 + rng.uniform(8);
+    const std::size_t kprime = n - 2 - rng.uniform(3);
+    GreedyRoundRobinScheduler greedy(n);
+    auto union_sched = make_union_scheduler(n);
+    const std::size_t receivers = 1 + rng.uniform(6);
+    for (NodeId v = 0; v < receivers; ++v) {
+      BitVec b(n);
+      for (std::size_t j = 0; j < n; ++j) b.set(j, rng.bernoulli(0.5));
+      if (b.none()) b.set(0);
+      const std::size_t q = b.count();
+      const std::size_t d = q + kprime > n ? q + kprime - n : 1;
+      greedy.on_snack(v, b, d);
+      union_sched->on_snack(v, b, d);
+    }
+    std::size_t greedy_sent = 0, union_sent = 0;
+    while (greedy.next_packet()) ++greedy_sent;
+    while (union_sched->next_packet()) ++union_sent;
+    EXPECT_LE(greedy_sent, union_sent) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace lrs

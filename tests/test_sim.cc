@@ -1,0 +1,478 @@
+// Simulator substrate: event queue ordering/cancellation, Trickle timer,
+// topologies, channel models, and the CSMA radio (delivery, loss,
+// collisions, half-duplex).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "sim/trickle.h"
+
+namespace lrs::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, TiesRunInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(7, [&order, i] { order.push_back(i); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelledEventSkipped) {
+  EventQueue q;
+  bool ran = false;
+  auto token = q.schedule_at(5, [&] { ran = true; });
+  EventQueue::cancel(token);
+  while (q.run_next()) {
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(10, [&] { ++count; });
+  q.schedule_at(20, [&] { ++count; });
+  q.schedule_at(30, [&] { ++count; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), 20);
+}
+
+TEST(EventQueueTest, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1, [&] {
+    ++fired;
+    q.schedule_at(q.now() + 1, [&] { ++fired; });
+  });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, PeekSkipsCancelled) {
+  EventQueue q;
+  auto token = q.schedule_at(5, [] {});
+  q.schedule_at(9, [] {});
+  EventQueue::cancel(token);
+  EXPECT_EQ(q.peek_time().value(), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Trickle
+// ---------------------------------------------------------------------------
+
+TEST(TrickleTest, FirePointInSecondHalfOfInterval) {
+  Rng rng(1);
+  Trickle t({1 * kSecond, 60 * kSecond, 2}, &rng);
+  for (int i = 0; i < 50; ++i) {
+    t.reset(0);
+    EXPECT_GE(t.fire_time(), kSecond / 2);
+    EXPECT_LT(t.fire_time(), kSecond);
+  }
+}
+
+TEST(TrickleTest, IntervalDoublesUpToCap) {
+  Rng rng(2);
+  Trickle t({1 * kSecond, 8 * kSecond, 2}, &rng);
+  t.reset(0);
+  EXPECT_EQ(t.tau(), 1 * kSecond);
+  SimTime now = 0;
+  for (int i = 0; i < 6; ++i) {
+    now = t.interval_end();
+    t.next_interval(now);
+  }
+  EXPECT_EQ(t.tau(), 8 * kSecond);
+}
+
+TEST(TrickleTest, SuppressionAfterRedundantHears) {
+  Rng rng(3);
+  Trickle t({1 * kSecond, 60 * kSecond, 2}, &rng);
+  t.reset(0);
+  EXPECT_TRUE(t.should_broadcast());
+  t.heard_consistent();
+  EXPECT_TRUE(t.should_broadcast());
+  t.heard_consistent();
+  EXPECT_FALSE(t.should_broadcast());
+  t.next_interval(t.interval_end());
+  EXPECT_TRUE(t.should_broadcast());  // counter resets each interval
+}
+
+TEST(TrickleTest, ResetReturnsToTauLow) {
+  Rng rng(4);
+  Trickle t({1 * kSecond, 60 * kSecond, 2}, &rng);
+  t.reset(0);
+  t.next_interval(t.interval_end());
+  t.next_interval(t.interval_end());
+  EXPECT_GT(t.tau(), 1 * kSecond);
+  t.reset(t.interval_end());
+  EXPECT_EQ(t.tau(), 1 * kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, StarIsFullyConnected) {
+  const auto topo = Topology::star(10);
+  EXPECT_EQ(topo.size(), 11u);
+  for (NodeId a = 0; a < 11; ++a) {
+    EXPECT_EQ(topo.neighbors(a).size(), 10u);
+    for (NodeId b = 0; b < 11; ++b) {
+      if (a != b) {
+        EXPECT_GT(topo.prr(a, b), 0.9);
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, GridShapeAndSpacing) {
+  const auto topo = Topology::grid(3, 4, 10.0);
+  EXPECT_EQ(topo.size(), 12u);
+  EXPECT_DOUBLE_EQ(topo.distance(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(topo.distance(0, 4), 10.0);  // next row
+  EXPECT_DOUBLE_EQ(topo.distance(0, 5), std::sqrt(200.0));
+}
+
+TEST(TopologyTest, PrrFallsWithDistance) {
+  LinkModel link;
+  EXPECT_DOUBLE_EQ(link.prr(0), link.max_prr);
+  EXPECT_DOUBLE_EQ(link.prr(link.connected_radius), link.max_prr);
+  const double mid =
+      link.prr((link.connected_radius + link.outer_radius) / 2);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, link.max_prr);
+  EXPECT_DOUBLE_EQ(link.prr(link.outer_radius), 0.0);
+  EXPECT_DOUBLE_EQ(link.prr(link.outer_radius + 100), 0.0);
+}
+
+TEST(TopologyTest, TightGridDenserThanMedium) {
+  const auto tight = Topology::grid(15, 15, 10.0);
+  const auto medium = Topology::grid(15, 15, 20.0);
+  EXPECT_GT(tight.mean_degree(), medium.mean_degree());
+  EXPECT_GT(medium.mean_degree(), 2.0);  // still connected
+}
+
+// ---------------------------------------------------------------------------
+// Channel models
+// ---------------------------------------------------------------------------
+
+TEST(ChannelTest, UniformLossMatchesP) {
+  auto model = make_uniform_loss(0.3);
+  Rng rng(5);
+  int delivered = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    delivered += model->delivered(0, 1, 0, rng);
+  EXPECT_NEAR(static_cast<double>(delivered) / trials, 0.7, 0.01);
+}
+
+TEST(ChannelTest, PerNodeLossIsPerReceiver) {
+  auto model = make_per_node_loss({0.0, 0.9});
+  Rng rng(6);
+  int d0 = 0, d1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    d0 += model->delivered(1, 0, 0, rng);
+    d1 += model->delivered(0, 1, 0, rng);
+  }
+  EXPECT_EQ(d0, 20000);
+  EXPECT_NEAR(d1 / 20000.0, 0.1, 0.02);
+}
+
+TEST(ChannelTest, GilbertElliottLossBetweenGoodAndBad) {
+  GilbertElliottParams params;
+  params.p_good = 0.05;
+  params.p_bad = 0.6;
+  auto model = make_gilbert_elliott(params, 2, 7);
+  Rng rng(8);
+  int delivered = 0;
+  const int trials = 200000;
+  SimTime t = 0;
+  for (int i = 0; i < trials; ++i) {
+    t += 5 * kMillisecond;
+    delivered += model->delivered(0, 1, t, rng);
+  }
+  const double loss = 1.0 - static_cast<double>(delivered) / trials;
+  EXPECT_GT(loss, params.p_good);
+  EXPECT_LT(loss, params.p_bad);
+}
+
+TEST(ChannelTest, GilbertElliottIsBursty) {
+  // Consecutive drops should correlate more than i.i.d. loss of equal mean.
+  GilbertElliottParams params;
+  params.p_good = 0.02;
+  params.p_bad = 0.9;
+  auto model = make_gilbert_elliott(params, 1, 9);
+  Rng rng(10);
+  std::vector<bool> dropped;
+  SimTime t = 0;
+  for (int i = 0; i < 100000; ++i) {
+    t += 2 * kMillisecond;
+    dropped.push_back(!model->delivered(0, 0, t, rng));
+  }
+  double p = 0, pp = 0;
+  int pairs = 0;
+  for (std::size_t i = 0; i + 1 < dropped.size(); ++i) {
+    p += dropped[i];
+    if (dropped[i]) {
+      pp += dropped[i + 1];
+      ++pairs;
+    }
+  }
+  p /= static_cast<double>(dropped.size());
+  const double cond = pp / std::max(1, pairs);
+  EXPECT_GT(cond, p * 1.5);  // burstiness: P(drop | drop) >> P(drop)
+}
+
+// ---------------------------------------------------------------------------
+// Simulator radio
+// ---------------------------------------------------------------------------
+
+/// Test node: broadcasts scripted frames, records receptions.
+class ProbeNode final : public Node {
+ public:
+  explicit ProbeNode(Env& env) : Node(env) {}
+
+  void on_start() override {}
+  void on_receive(ByteView frame) override {
+    received.emplace_back(frame.begin(), frame.end());
+    rx_times.push_back(env().now());
+  }
+
+  void send_at(SimTime at, Bytes frame) {
+    env().schedule(at - env().now(), [this, f = std::move(frame)]() mutable {
+      env().broadcast(PacketClass::kData, std::move(f));
+    });
+  }
+
+  Env& environment() { return env(); }
+
+  std::vector<Bytes> received;
+  std::vector<SimTime> rx_times;
+};
+
+TEST(SimulatorTest, BroadcastReachesAllNeighbors) {
+  Simulator sim(Topology::star(3), make_perfect_channel(), RadioParams{}, 1);
+  auto& a = sim.add_node<ProbeNode>();
+  auto& b = sim.add_node<ProbeNode>();
+  auto& c = sim.add_node<ProbeNode>();
+  auto& d = sim.add_node<ProbeNode>();
+  sim.run(0);  // deliver on_start
+  a.send_at(sim.now() + 1, Bytes{42});
+  sim.run(1 * kSecond);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(d.received.size(), 1u);
+  EXPECT_EQ(b.received[0], Bytes{42});
+  EXPECT_EQ(sim.metrics().node(0).sent[0], 1u);
+  EXPECT_EQ(sim.metrics().node(1).received[0], 1u);
+}
+
+TEST(SimulatorTest, AirtimeDelaysDelivery) {
+  RadioParams radio;
+  Simulator sim(Topology::star(1), make_perfect_channel(), radio, 2);
+  auto& a = sim.add_node<ProbeNode>();
+  auto& b = sim.add_node<ProbeNode>();
+  sim.run(0);
+  a.send_at(sim.now() + 1, Bytes(85, 0));  // 100 bytes with PHY overhead
+  sim.run(1 * kSecond);
+  ASSERT_EQ(b.received.size(), 1u);
+  // 100 bytes at 250 kbps = 3.2 ms of airtime (plus backoff).
+  EXPECT_GE(b.rx_times[0], 3200 * kMicrosecond);
+  EXPECT_LT(b.rx_times[0], 20 * kMillisecond);
+}
+
+TEST(SimulatorTest, UniformLossDropsFraction) {
+  Simulator sim(Topology::star(1), make_uniform_loss(0.5), RadioParams{}, 3);
+  auto& a = sim.add_node<ProbeNode>();
+  auto& b = sim.add_node<ProbeNode>();
+  sim.run(0);
+  const int sends = 400;
+  for (int i = 0; i < sends; ++i) {
+    a.send_at(sim.now() + 1 + i * 10 * kMillisecond, Bytes{1});
+  }
+  sim.run(100 * kSecond);
+  EXPECT_GT(b.received.size(), 120u);
+  EXPECT_LT(b.received.size(), 280u);
+}
+
+TEST(SimulatorTest, OutOfRangeNodesDoNotHearEachOther) {
+  // Two nodes 1000 apart with default link model (outer radius 45).
+  auto topo = Topology::grid(1, 2, 1000.0);
+  Simulator sim(std::move(topo), make_perfect_channel(), RadioParams{}, 4);
+  auto& a = sim.add_node<ProbeNode>();
+  auto& b = sim.add_node<ProbeNode>();
+  sim.run(0);
+  a.send_at(sim.now() + 1, Bytes{1});
+  sim.run(1 * kSecond);
+  EXPECT_TRUE(b.received.empty());
+}
+
+LinkModel perfect_link() {
+  LinkModel link;
+  link.max_prr = 1.0;  // no stochastic PRR loss in deterministic tests
+  return link;
+}
+
+TEST(SimulatorTest, CarrierSenseDefersSecondSender) {
+  // b wants to send while a's long frame is in the air: CSMA must defer b,
+  // and both frames reach c intact.
+  Simulator sim(Topology::star(2, perfect_link()), make_perfect_channel(),
+                RadioParams{}, 5);
+  auto& a = sim.add_node<ProbeNode>();
+  auto& b = sim.add_node<ProbeNode>();
+  auto& c = sim.add_node<ProbeNode>();
+  sim.run(0);
+  a.send_at(sim.now() + 1, Bytes(500, 1));  // ~16 ms of airtime
+  b.send_at(sim.now() + 8 * kMillisecond, Bytes{2});
+  sim.run(1 * kSecond);
+  ASSERT_EQ(c.received.size(), 2u);
+  EXPECT_EQ(c.received[0].size(), 500u);
+  EXPECT_EQ(c.received[1], Bytes{2});
+  EXPECT_EQ(sim.collisions(), 0u);
+}
+
+TEST(SimulatorTest, HiddenTerminalCollisionDestroysBothFrames) {
+  // Line topology a — c — b where a and b cannot hear each other: carrier
+  // sensing cannot prevent their frames overlapping at c, so both are lost
+  // and the collision counter records it.
+  LinkModel link;
+  link.max_prr = 1.0;
+  link.connected_radius = 45.0;
+  link.outer_radius = 46.0;  // sharp cutoff: 40 connected, 80 silent
+  RadioParams radio;
+  radio.backoff_initial = 0;
+  radio.backoff_window = 1;  // ~deterministic start
+  Simulator sim(Topology::grid(1, 3, 40.0, link), make_perfect_channel(),
+                radio, 5);
+  auto& a = sim.add_node<ProbeNode>();
+  auto& c = sim.add_node<ProbeNode>();  // middle node (id 1)
+  auto& b = sim.add_node<ProbeNode>();
+  sim.run(0);
+  a.send_at(sim.now() + 1, Bytes(100, 1));
+  b.send_at(sim.now() + 1, Bytes(100, 2));
+  sim.run(1 * kSecond);
+  EXPECT_TRUE(c.received.empty());
+  EXPECT_GT(sim.collisions(), 0u);
+}
+
+TEST(SimulatorTest, CompletionTimeRecordedOnce) {
+  Simulator sim(Topology::star(1), make_perfect_channel(), RadioParams{}, 6);
+  auto& a = sim.add_node<ProbeNode>();
+  sim.add_node<ProbeNode>();
+  sim.run(0);
+  a.environment().notify_complete();
+  const SimTime first = sim.metrics().node(0).completion_time;
+  a.environment().notify_complete();
+  EXPECT_EQ(sim.metrics().node(0).completion_time, first);
+  EXPECT_EQ(sim.metrics().completed_count(1), 1u);
+}
+
+TEST(SimulatorTest, RunStopsWhenPredicateHolds) {
+  Simulator sim(Topology::star(1), make_perfect_channel(), RadioParams{}, 7);
+  auto& a = sim.add_node<ProbeNode>();
+  auto& b = sim.add_node<ProbeNode>();
+  sim.run(0);
+  for (int i = 0; i < 100; ++i) a.send_at(sim.now() + 1 + i * kMillisecond, Bytes{1});
+  const bool stopped = sim.run(
+      10 * kSecond, [&] { return b.received.size() >= 3; });
+  EXPECT_TRUE(stopped);
+  EXPECT_LT(b.received.size(), 100u);
+}
+
+TEST(MetricsTest, AggregatesAcrossNodesAndClasses) {
+  Metrics m(3);
+  m.record_send(0, PacketClass::kData, 100);
+  m.record_send(1, PacketClass::kData, 50);
+  m.record_send(1, PacketClass::kSnack, 20);
+  EXPECT_EQ(m.total_sent(PacketClass::kData), 2u);
+  EXPECT_EQ(m.total_sent(PacketClass::kSnack), 1u);
+  EXPECT_EQ(m.total_sent_bytes(), 170u);
+  EXPECT_EQ(m.total_sent_bytes(PacketClass::kData), 150u);
+}
+
+}  // namespace
+}  // namespace lrs::sim
+
+// Appended: radio-energy accounting (tx/rx airtime).
+namespace lrs::sim {
+namespace {
+
+class EnergyProbe final : public Node {
+ public:
+  explicit EnergyProbe(Env& env) : Node(env) {}
+  void on_start() override {}
+  void on_receive(ByteView) override {}
+  void send(Bytes frame) {
+    env().schedule(1, [this, f = std::move(frame)]() mutable {
+      env().broadcast(PacketClass::kData, std::move(f));
+    });
+  }
+};
+
+TEST(EnergyAccounting, AirtimeChargedToSenderAndReceivers) {
+  RadioParams radio;
+  Simulator sim(Topology::star(2, LinkModel::perfect()),
+                make_perfect_channel(), radio, 1);
+  auto& a = sim.add_node<EnergyProbe>();
+  sim.add_node<EnergyProbe>();
+  sim.add_node<EnergyProbe>();
+  sim.run(0);
+  a.send(Bytes(100, 1));
+  sim.run(1 * kSecond);
+
+  const auto expected =
+      static_cast<std::uint64_t>(radio.airtime(100));
+  EXPECT_EQ(sim.metrics().node(0).tx_airtime_us, expected);
+  EXPECT_EQ(sim.metrics().node(0).rx_airtime_us, 0u);
+  EXPECT_EQ(sim.metrics().node(1).rx_airtime_us, expected);
+  EXPECT_EQ(sim.metrics().node(2).rx_airtime_us, expected);
+}
+
+TEST(EnergyAccounting, LossyReceptionStillCostsEnergy) {
+  // The radio pays for the whole frame even when the app-layer loss model
+  // discards it afterwards.
+  RadioParams radio;
+  Simulator sim(Topology::star(1, LinkModel::perfect()),
+                make_uniform_loss(1.0), radio, 2);
+  auto& a = sim.add_node<EnergyProbe>();
+  sim.add_node<EnergyProbe>();
+  sim.run(0);
+  a.send(Bytes(50, 1));
+  sim.run(1 * kSecond);
+  EXPECT_EQ(sim.metrics().node(1).received[0], 0u);  // dropped
+  EXPECT_GT(sim.metrics().node(1).rx_airtime_us, 0u);  // but paid for
+}
+
+}  // namespace
+}  // namespace lrs::sim

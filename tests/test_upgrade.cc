@@ -1,0 +1,241 @@
+// Multi-image version upgrades: the actual purpose of over-the-air
+// reprogramming. A node running image v1 must adopt a NEWER, properly
+// signed image v2 (re-bootstrapping its page state), never a replayed
+// older one, and never a forged one — and a full network must converge on
+// v2 after the base station pushes it mid-deployment.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/lr_seluge.h"
+#include "proto/engine.h"
+#include "sim/simulator.h"
+
+namespace lrs {
+namespace {
+
+using core::lr_scheme_factory;
+using core::make_lr_receiver;
+using core::make_lr_source;
+using proto::CommonParams;
+using proto::DissemNode;
+using proto::EngineConfig;
+
+CommonParams small_params(Version v = 1) {
+  CommonParams p;
+  p.version = v;
+  p.payload_size = 32;
+  p.k = 8;
+  p.n = 12;
+  p.k0 = 4;
+  p.n0 = 8;
+  p.puzzle_strength = 4;
+  return p;
+}
+
+/// Two images signed under one root, versions 1 and 2.
+struct TwoImages {
+  TwoImages()
+      : signer(view(Bytes{0x77}), 2),
+        image_v1(core::make_test_image(1024, 1)),
+        image_v2(core::make_test_image(1400, 2)),
+        v1(make_lr_source(small_params(1), image_v1, signer)),
+        v2(make_lr_source(small_params(2), image_v2, signer)) {}
+
+  crypto::MultiKeySigner signer;
+  Bytes image_v1, image_v2;
+  std::unique_ptr<proto::SchemeState> v1, v2;
+};
+
+/// Feeds every packet of `src` into `node` as frames.
+void pump(proto::SchemeState& src, DissemNode& node) {
+  for (std::uint32_t p = 0; p < src.num_pages(); ++p) {
+    for (std::uint32_t j = 0; j < src.packets_in_page(p); ++j) {
+      if (node.scheme().pages_complete() > p) break;
+      proto::DataPacket d;
+      d.version = src.version();
+      d.page = p;
+      d.index = j;
+      d.payload = src.packet_payload(p, j).value();
+      node.on_receive(view(d.serialize()));
+    }
+  }
+}
+
+// A tiny Env double (timers never fire; we drive the node with frames).
+class StaticEnv final : public sim::Env {
+ public:
+  sim::SimTime now() const override { return 0; }
+  NodeId id() const override { return 5; }
+  void broadcast(sim::PacketClass, Bytes) override {}
+  sim::EventToken schedule(sim::SimTime, std::function<void()>) override {
+    return std::make_shared<bool>(false);
+  }
+  std::size_t pending_tx() const override { return 0; }
+  void cancel(const sim::EventToken& t) override {
+    if (t) *t = true;
+  }
+  Rng& rng() override { return rng_; }
+  sim::NodeMetrics& metrics() override { return metrics_; }
+  void notify_complete() override {}
+
+ private:
+  Rng rng_{1};
+  sim::NodeMetrics metrics_;
+};
+
+DissemNode make_upgradable_node(sim::Env& env, const TwoImages& imgs) {
+  EngineConfig cfg;
+  cfg.scheme_factory =
+      lr_scheme_factory(small_params(), imgs.signer.root_public_key());
+  return DissemNode(env,
+                    make_lr_receiver(small_params(),
+                                     imgs.signer.root_public_key()),
+                    cfg, small_params().cluster_key);
+}
+
+TEST(Upgrade, AdoptsNewerSignedImageAfterCompletingOld) {
+  TwoImages imgs;
+  StaticEnv env;
+  auto node = make_upgradable_node(env, imgs);
+  node.on_start();
+
+  node.on_receive(view(imgs.v1->signature_frame().value()));
+  pump(*imgs.v1, node);
+  ASSERT_TRUE(node.image_complete());
+  ASSERT_EQ(node.scheme().assemble_image(), imgs.image_v1);
+
+  // v2 arrives: state resets to the new version, pages start over.
+  node.on_receive(view(imgs.v2->signature_frame().value()));
+  EXPECT_EQ(node.scheme().version(), 2u);
+  EXPECT_FALSE(node.image_complete());
+  EXPECT_EQ(node.scheme().pages_complete(), 0u);
+
+  pump(*imgs.v2, node);
+  ASSERT_TRUE(node.image_complete());
+  EXPECT_EQ(node.scheme().assemble_image(), imgs.image_v2);
+}
+
+TEST(Upgrade, UpgradesMidTransferToo) {
+  TwoImages imgs;
+  StaticEnv env;
+  auto node = make_upgradable_node(env, imgs);
+  node.on_start();
+  node.on_receive(view(imgs.v1->signature_frame().value()));
+  // Only page 0 of v1 delivered, then v2 appears.
+  for (std::uint32_t j = 0; j < imgs.v1->packets_in_page(0); ++j) {
+    if (node.scheme().pages_complete() > 0) break;
+    proto::DataPacket d;
+    d.version = 1;
+    d.page = 0;
+    d.index = j;
+    d.payload = imgs.v1->packet_payload(0, j).value();
+    node.on_receive(view(d.serialize()));
+  }
+  node.on_receive(view(imgs.v2->signature_frame().value()));
+  EXPECT_EQ(node.scheme().version(), 2u);
+  pump(*imgs.v2, node);
+  EXPECT_EQ(node.scheme().assemble_image(), imgs.image_v2);
+}
+
+TEST(Upgrade, DowngradeReplayIgnored) {
+  TwoImages imgs;
+  StaticEnv env;
+  auto node = make_upgradable_node(env, imgs);
+  node.on_start();
+  node.on_receive(view(imgs.v2->signature_frame().value()));
+  pump(*imgs.v2, node);
+  ASSERT_TRUE(node.image_complete());
+
+  // Replaying the (genuine!) v1 signature must not roll the node back.
+  node.on_receive(view(imgs.v1->signature_frame().value()));
+  EXPECT_EQ(node.scheme().version(), 2u);
+  EXPECT_TRUE(node.image_complete());
+}
+
+TEST(Upgrade, ForgedNewerVersionRejected) {
+  TwoImages imgs;
+  crypto::MultiKeySigner mallory(view(Bytes{0x66}), 1);
+  auto params3 = small_params(3);
+  const Bytes evil = core::make_test_image(800, 9);
+  auto forged = make_lr_source(params3, evil, mallory);
+
+  StaticEnv env;
+  auto node = make_upgradable_node(env, imgs);
+  node.on_start();
+  node.on_receive(view(imgs.v1->signature_frame().value()));
+  pump(*imgs.v1, node);
+  ASSERT_TRUE(node.image_complete());
+
+  // Mallory's "v3" verifies under her root, not ours: no upgrade.
+  node.on_receive(view(forged->signature_frame().value()));
+  EXPECT_EQ(node.scheme().version(), 1u);
+  EXPECT_TRUE(node.image_complete());
+}
+
+TEST(Upgrade, WithoutFactoryNewerVersionsIgnored) {
+  TwoImages imgs;
+  StaticEnv env;
+  EngineConfig cfg;  // no scheme_factory
+  DissemNode node(env,
+                  make_lr_receiver(small_params(),
+                                   imgs.signer.root_public_key()),
+                  cfg, small_params().cluster_key);
+  node.on_start();
+  node.on_receive(view(imgs.v1->signature_frame().value()));
+  node.on_receive(view(imgs.v2->signature_frame().value()));
+  EXPECT_EQ(node.scheme().version(), 1u);
+}
+
+TEST(Upgrade, FullNetworkConvergesOnPushedV2) {
+  // End-to-end: v1 disseminates; the operator pushes v2 at the base
+  // station; every receiver converges on v2 byte-exactly (including nodes
+  // that learn about v2 only from advertisements).
+  TwoImages imgs;
+  const std::size_t kReceivers = 6;
+  sim::Simulator simulator(sim::Topology::star(kReceivers),
+                           sim::make_uniform_loss(0.1), sim::RadioParams{},
+                           3);
+  EngineConfig cfg;
+  cfg.timing.trickle.tau_low = 250 * sim::kMillisecond;
+  cfg.timing.trickle.tau_high = 4 * sim::kSecond;
+  cfg.scheme_factory =
+      lr_scheme_factory(small_params(), imgs.signer.root_public_key());
+  cfg.is_base_station = true;
+
+  std::vector<DissemNode*> nodes;
+  crypto::MultiKeySigner bs_signer(view(Bytes{0x77}), 2);
+  nodes.push_back(&simulator.add_node<DissemNode>(
+      make_lr_source(small_params(1), imgs.image_v1, bs_signer), cfg,
+      small_params().cluster_key));
+  cfg.is_base_station = false;
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    nodes.push_back(&simulator.add_node<DissemNode>(
+        make_lr_receiver(small_params(), imgs.signer.root_public_key()), cfg,
+        small_params().cluster_key));
+  }
+
+  const auto all_at = [&](Version v) {
+    for (std::size_t i = 1; i <= kReceivers; ++i) {
+      if (nodes[i]->scheme().version() != v ||
+          !nodes[i]->image_complete()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  ASSERT_TRUE(
+      simulator.run(600LL * sim::kSecond, [&] { return all_at(1); }));
+
+  // Operator pushes v2 (signed by the same signer chain).
+  nodes[0]->upgrade(make_lr_source(small_params(2), imgs.image_v2, bs_signer));
+  ASSERT_TRUE(
+      simulator.run(simulator.now() + 600LL * sim::kSecond,
+                    [&] { return all_at(2); }));
+  for (std::size_t i = 1; i <= kReceivers; ++i) {
+    EXPECT_EQ(nodes[i]->scheme().assemble_image(), imgs.image_v2);
+  }
+}
+
+}  // namespace
+}  // namespace lrs
