@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_dos.dir/bench_attack_dos.cc.o"
+  "CMakeFiles/bench_attack_dos.dir/bench_attack_dos.cc.o.d"
+  "bench_attack_dos"
+  "bench_attack_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_multihop_tight.dir/bench_table2_multihop_tight.cc.o"
+  "CMakeFiles/bench_table2_multihop_tight.dir/bench_table2_multihop_tight.cc.o.d"
+  "bench_table2_multihop_tight"
+  "bench_table2_multihop_tight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_multihop_tight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_multihop_tight.
+# This may be replaced when dependencies are built.

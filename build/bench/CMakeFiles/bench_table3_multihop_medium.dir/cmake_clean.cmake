@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_multihop_medium.dir/bench_table3_multihop_medium.cc.o"
+  "CMakeFiles/bench_table3_multihop_medium.dir/bench_table3_multihop_medium.cc.o.d"
+  "bench_table3_multihop_medium"
+  "bench_table3_multihop_medium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_multihop_medium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_rate_planner.dir/coding_rate_planner.cpp.o"
+  "CMakeFiles/coding_rate_planner.dir/coding_rate_planner.cpp.o.d"
+  "coding_rate_planner"
+  "coding_rate_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_rate_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihop_grid.dir/multihop_grid.cpp.o"
+  "CMakeFiles/multihop_grid.dir/multihop_grid.cpp.o.d"
+  "multihop_grid"
+  "multihop_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihop_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

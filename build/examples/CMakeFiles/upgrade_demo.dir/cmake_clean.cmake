@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_demo.dir/upgrade_demo.cpp.o"
+  "CMakeFiles/upgrade_demo.dir/upgrade_demo.cpp.o.d"
+  "upgrade_demo"
+  "upgrade_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_analysis.dir/one_hop.cc.o"
+  "CMakeFiles/lrs_analysis.dir/one_hop.cc.o.d"
+  "liblrs_analysis.a"
+  "liblrs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_attack.dir/adversary.cc.o"
+  "CMakeFiles/lrs_attack.dir/adversary.cc.o.d"
+  "liblrs_attack.a"
+  "liblrs_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

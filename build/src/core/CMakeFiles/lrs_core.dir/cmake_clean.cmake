@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_core.dir/experiment.cc.o"
+  "CMakeFiles/lrs_core.dir/experiment.cc.o.d"
+  "CMakeFiles/lrs_core.dir/greedy_scheduler.cc.o"
+  "CMakeFiles/lrs_core.dir/greedy_scheduler.cc.o.d"
+  "CMakeFiles/lrs_core.dir/lr_image.cc.o"
+  "CMakeFiles/lrs_core.dir/lr_image.cc.o.d"
+  "CMakeFiles/lrs_core.dir/lr_seluge.cc.o"
+  "CMakeFiles/lrs_core.dir/lr_seluge.cc.o.d"
+  "liblrs_core.a"
+  "liblrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

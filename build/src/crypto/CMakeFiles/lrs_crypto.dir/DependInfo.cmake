@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hash.cc" "src/crypto/CMakeFiles/lrs_crypto.dir/hash.cc.o" "gcc" "src/crypto/CMakeFiles/lrs_crypto.dir/hash.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/lrs_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/lrs_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/crypto/CMakeFiles/lrs_crypto.dir/merkle.cc.o" "gcc" "src/crypto/CMakeFiles/lrs_crypto.dir/merkle.cc.o.d"
+  "/root/repo/src/crypto/puzzle.cc" "src/crypto/CMakeFiles/lrs_crypto.dir/puzzle.cc.o" "gcc" "src/crypto/CMakeFiles/lrs_crypto.dir/puzzle.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/lrs_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/lrs_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/wots.cc" "src/crypto/CMakeFiles/lrs_crypto.dir/wots.cc.o" "gcc" "src/crypto/CMakeFiles/lrs_crypto.dir/wots.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_crypto.dir/hash.cc.o"
+  "CMakeFiles/lrs_crypto.dir/hash.cc.o.d"
+  "CMakeFiles/lrs_crypto.dir/hmac.cc.o"
+  "CMakeFiles/lrs_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/lrs_crypto.dir/merkle.cc.o"
+  "CMakeFiles/lrs_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/lrs_crypto.dir/puzzle.cc.o"
+  "CMakeFiles/lrs_crypto.dir/puzzle.cc.o.d"
+  "CMakeFiles/lrs_crypto.dir/sha256.cc.o"
+  "CMakeFiles/lrs_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/lrs_crypto.dir/wots.cc.o"
+  "CMakeFiles/lrs_crypto.dir/wots.cc.o.d"
+  "liblrs_crypto.a"
+  "liblrs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

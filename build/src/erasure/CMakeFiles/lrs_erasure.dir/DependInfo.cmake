@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/erasure/code.cc" "src/erasure/CMakeFiles/lrs_erasure.dir/code.cc.o" "gcc" "src/erasure/CMakeFiles/lrs_erasure.dir/code.cc.o.d"
+  "/root/repo/src/erasure/gf256.cc" "src/erasure/CMakeFiles/lrs_erasure.dir/gf256.cc.o" "gcc" "src/erasure/CMakeFiles/lrs_erasure.dir/gf256.cc.o.d"
+  "/root/repo/src/erasure/lt_code.cc" "src/erasure/CMakeFiles/lrs_erasure.dir/lt_code.cc.o" "gcc" "src/erasure/CMakeFiles/lrs_erasure.dir/lt_code.cc.o.d"
+  "/root/repo/src/erasure/matrix.cc" "src/erasure/CMakeFiles/lrs_erasure.dir/matrix.cc.o" "gcc" "src/erasure/CMakeFiles/lrs_erasure.dir/matrix.cc.o.d"
+  "/root/repo/src/erasure/rlc_code.cc" "src/erasure/CMakeFiles/lrs_erasure.dir/rlc_code.cc.o" "gcc" "src/erasure/CMakeFiles/lrs_erasure.dir/rlc_code.cc.o.d"
+  "/root/repo/src/erasure/rs_code.cc" "src/erasure/CMakeFiles/lrs_erasure.dir/rs_code.cc.o" "gcc" "src/erasure/CMakeFiles/lrs_erasure.dir/rs_code.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_erasure.dir/code.cc.o"
+  "CMakeFiles/lrs_erasure.dir/code.cc.o.d"
+  "CMakeFiles/lrs_erasure.dir/gf256.cc.o"
+  "CMakeFiles/lrs_erasure.dir/gf256.cc.o.d"
+  "CMakeFiles/lrs_erasure.dir/lt_code.cc.o"
+  "CMakeFiles/lrs_erasure.dir/lt_code.cc.o.d"
+  "CMakeFiles/lrs_erasure.dir/matrix.cc.o"
+  "CMakeFiles/lrs_erasure.dir/matrix.cc.o.d"
+  "CMakeFiles/lrs_erasure.dir/rlc_code.cc.o"
+  "CMakeFiles/lrs_erasure.dir/rlc_code.cc.o.d"
+  "CMakeFiles/lrs_erasure.dir/rs_code.cc.o"
+  "CMakeFiles/lrs_erasure.dir/rs_code.cc.o.d"
+  "liblrs_erasure.a"
+  "liblrs_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/deluge.cc" "src/proto/CMakeFiles/lrs_proto.dir/deluge.cc.o" "gcc" "src/proto/CMakeFiles/lrs_proto.dir/deluge.cc.o.d"
+  "/root/repo/src/proto/engine.cc" "src/proto/CMakeFiles/lrs_proto.dir/engine.cc.o" "gcc" "src/proto/CMakeFiles/lrs_proto.dir/engine.cc.o.d"
+  "/root/repo/src/proto/layout.cc" "src/proto/CMakeFiles/lrs_proto.dir/layout.cc.o" "gcc" "src/proto/CMakeFiles/lrs_proto.dir/layout.cc.o.d"
+  "/root/repo/src/proto/packet.cc" "src/proto/CMakeFiles/lrs_proto.dir/packet.cc.o" "gcc" "src/proto/CMakeFiles/lrs_proto.dir/packet.cc.o.d"
+  "/root/repo/src/proto/rateless.cc" "src/proto/CMakeFiles/lrs_proto.dir/rateless.cc.o" "gcc" "src/proto/CMakeFiles/lrs_proto.dir/rateless.cc.o.d"
+  "/root/repo/src/proto/scheduler.cc" "src/proto/CMakeFiles/lrs_proto.dir/scheduler.cc.o" "gcc" "src/proto/CMakeFiles/lrs_proto.dir/scheduler.cc.o.d"
+  "/root/repo/src/proto/seluge.cc" "src/proto/CMakeFiles/lrs_proto.dir/seluge.cc.o" "gcc" "src/proto/CMakeFiles/lrs_proto.dir/seluge.cc.o.d"
+  "/root/repo/src/proto/sluice.cc" "src/proto/CMakeFiles/lrs_proto.dir/sluice.cc.o" "gcc" "src/proto/CMakeFiles/lrs_proto.dir/sluice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lrs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lrs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/lrs_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lrs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_proto.dir/deluge.cc.o"
+  "CMakeFiles/lrs_proto.dir/deluge.cc.o.d"
+  "CMakeFiles/lrs_proto.dir/engine.cc.o"
+  "CMakeFiles/lrs_proto.dir/engine.cc.o.d"
+  "CMakeFiles/lrs_proto.dir/layout.cc.o"
+  "CMakeFiles/lrs_proto.dir/layout.cc.o.d"
+  "CMakeFiles/lrs_proto.dir/packet.cc.o"
+  "CMakeFiles/lrs_proto.dir/packet.cc.o.d"
+  "CMakeFiles/lrs_proto.dir/rateless.cc.o"
+  "CMakeFiles/lrs_proto.dir/rateless.cc.o.d"
+  "CMakeFiles/lrs_proto.dir/scheduler.cc.o"
+  "CMakeFiles/lrs_proto.dir/scheduler.cc.o.d"
+  "CMakeFiles/lrs_proto.dir/seluge.cc.o"
+  "CMakeFiles/lrs_proto.dir/seluge.cc.o.d"
+  "CMakeFiles/lrs_proto.dir/sluice.cc.o"
+  "CMakeFiles/lrs_proto.dir/sluice.cc.o.d"
+  "liblrs_proto.a"
+  "liblrs_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_sim.dir/channel.cc.o"
+  "CMakeFiles/lrs_sim.dir/channel.cc.o.d"
+  "CMakeFiles/lrs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/lrs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/lrs_sim.dir/metrics.cc.o"
+  "CMakeFiles/lrs_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/lrs_sim.dir/simulator.cc.o"
+  "CMakeFiles/lrs_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/lrs_sim.dir/topology.cc.o"
+  "CMakeFiles/lrs_sim.dir/topology.cc.o.d"
+  "CMakeFiles/lrs_sim.dir/trickle.cc.o"
+  "CMakeFiles/lrs_sim.dir/trickle.cc.o.d"
+  "liblrs_sim.a"
+  "liblrs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

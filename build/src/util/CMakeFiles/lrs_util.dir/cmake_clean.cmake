@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrs_util.dir/args.cc.o"
+  "CMakeFiles/lrs_util.dir/args.cc.o.d"
+  "CMakeFiles/lrs_util.dir/bitvec.cc.o"
+  "CMakeFiles/lrs_util.dir/bitvec.cc.o.d"
+  "CMakeFiles/lrs_util.dir/buffer.cc.o"
+  "CMakeFiles/lrs_util.dir/buffer.cc.o.d"
+  "CMakeFiles/lrs_util.dir/csv.cc.o"
+  "CMakeFiles/lrs_util.dir/csv.cc.o.d"
+  "CMakeFiles/lrs_util.dir/hex.cc.o"
+  "CMakeFiles/lrs_util.dir/hex.cc.o.d"
+  "CMakeFiles/lrs_util.dir/log.cc.o"
+  "CMakeFiles/lrs_util.dir/log.cc.o.d"
+  "CMakeFiles/lrs_util.dir/rng.cc.o"
+  "CMakeFiles/lrs_util.dir/rng.cc.o.d"
+  "CMakeFiles/lrs_util.dir/stats.cc.o"
+  "CMakeFiles/lrs_util.dir/stats.cc.o.d"
+  "liblrs_util.a"
+  "liblrs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

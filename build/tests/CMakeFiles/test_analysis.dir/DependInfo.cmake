@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lrs_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lrs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/lrs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/lrs_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lrs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rateless.dir/test_rateless.cc.o"
+  "CMakeFiles/test_rateless.dir/test_rateless.cc.o.d"
+  "test_rateless"
+  "test_rateless.pdb"
+  "test_rateless[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rateless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

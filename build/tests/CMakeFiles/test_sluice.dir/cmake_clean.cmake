@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sluice.dir/test_sluice.cc.o"
+  "CMakeFiles/test_sluice.dir/test_sluice.cc.o.d"
+  "test_sluice"
+  "test_sluice.pdb"
+  "test_sluice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sluice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upgrade.dir/test_upgrade.cc.o"
+  "CMakeFiles/test_upgrade.dir/test_upgrade.cc.o.d"
+  "test_upgrade"
+  "test_upgrade.pdb"
+  "test_upgrade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
