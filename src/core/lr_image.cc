@@ -30,12 +30,15 @@ class LrSelugeState final : public proto::SchemeState {
   LrSelugeState(const CommonParams& params, const crypto::PacketHash& root_pk)
       : params_(params),
         root_pk_(root_pk),
-        code_(erasure::make_code(params.codec, params.k, params.n,
-                                 params.delta, params.code_seed)),
-        code0_(erasure::make_code(params.codec, params.k0, params.n0,
-                                  std::min(params.delta,
-                                           params.n0 - params.k0),
-                                  params.code_seed ^ 0x9e3779b9ULL)) {
+        // Cached: every node of a simulation (and every Monte Carlo trial)
+        // shares one generator matrix per (codec, geometry, seed) instead of
+        // rebuilding it per LrSelugeState.
+        code_(erasure::make_code_cached(params.codec, params.k, params.n,
+                                        params.delta, params.code_seed)),
+        code0_(erasure::make_code_cached(params.codec, params.k0, params.n0,
+                                         std::min(params.delta,
+                                                  params.n0 - params.k0),
+                                         params.code_seed ^ 0x9e3779b9ULL)) {
     validate_lr_params(params_);
   }
 
@@ -447,8 +450,8 @@ class LrSelugeState final : public proto::SchemeState {
 
   CommonParams params_;
   crypto::PacketHash root_pk_;
-  std::unique_ptr<erasure::ErasureCode> code_;   // k -> n
-  std::unique_ptr<erasure::ErasureCode> code0_;  // k0 -> n0
+  std::shared_ptr<const erasure::ErasureCode> code_;   // k -> n, cached
+  std::shared_ptr<const erasure::ErasureCode> code0_;  // k0 -> n0, cached
 
   std::optional<SignedMeta> meta_;
   crypto::PacketHash root_{};

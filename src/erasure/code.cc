@@ -1,5 +1,9 @@
 #include "erasure/code.h"
 
+#include <map>
+#include <mutex>
+#include <tuple>
+
 namespace lrs::erasure {
 
 std::optional<CodecKind> parse_codec_kind(const std::string& name) {
@@ -24,6 +28,62 @@ std::unique_ptr<ErasureCode> make_code(CodecKind kind, std::size_t k,
       return make_lt_code(k, n, delta, seed);
   }
   return nullptr;
+}
+
+namespace {
+
+using CacheKey =
+    std::tuple<CodecKind, std::size_t, std::size_t, std::size_t,
+               std::uint64_t>;
+
+struct CodecCache {
+  std::mutex mu;
+  std::map<CacheKey, std::shared_ptr<const ErasureCode>> entries;
+};
+
+CodecCache& codec_cache() {
+  static CodecCache c;
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const ErasureCode> make_code_cached(CodecKind kind,
+                                                    std::size_t k,
+                                                    std::size_t n,
+                                                    std::size_t delta,
+                                                    std::uint64_t seed) {
+  if (kind == CodecKind::kReedSolomon) {
+    // RS ignores delta and seed; canonicalize so all spellings share one
+    // generator matrix.
+    delta = 0;
+    seed = 0;
+  }
+  const CacheKey key{kind, k, n, delta, seed};
+  auto& cache = codec_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) return it->second;
+  }
+  // Build outside the lock — generator construction is the expensive part
+  // the cache exists to amortize. A racing builder loses to try_emplace.
+  std::shared_ptr<const ErasureCode> built =
+      make_code(kind, k, n, delta, seed);
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.entries.try_emplace(key, std::move(built)).first->second;
+}
+
+std::size_t codec_cache_size() {
+  auto& cache = codec_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.entries.size();
+}
+
+void codec_cache_clear() {
+  auto& cache = codec_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.entries.clear();
 }
 
 }  // namespace lrs::erasure

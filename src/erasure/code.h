@@ -83,4 +83,25 @@ std::unique_ptr<ErasureCode> make_code(CodecKind kind, std::size_t k,
                                        std::size_t n, std::size_t delta,
                                        std::uint64_t seed);
 
+/// Process-wide cache of immutable codec instances keyed by
+/// (kind, k, n, delta, seed). LR-Seluge preloads the *same* code instance on
+/// every node, so all receivers of a simulation — and every page and Monte
+/// Carlo trial of the bench harnesses — can share one generator matrix
+/// instead of rebuilding the Cauchy/RLC construction per node. Codecs are
+/// deterministic and stateless after construction, hence safe to share.
+/// Seed-independent kinds (Reed-Solomon) canonicalize delta/seed in the key.
+/// Thread-safe; entries live for the process lifetime (a handful of small
+/// matrices).
+std::shared_ptr<const ErasureCode> make_code_cached(CodecKind kind,
+                                                    std::size_t k,
+                                                    std::size_t n,
+                                                    std::size_t delta,
+                                                    std::uint64_t seed);
+
+/// Number of distinct codec instances currently cached.
+std::size_t codec_cache_size();
+
+/// Drops every cached codec (outstanding shared_ptrs stay valid). For tests.
+void codec_cache_clear();
+
 }  // namespace lrs::erasure

@@ -1,93 +1,47 @@
 #include "erasure/gf256.h"
 
-#include <array>
-
+#include "erasure/gf256_kernels.h"
 #include "util/check.h"
 
 namespace lrs::erasure {
 
-namespace {
-
-struct Tables {
-  std::array<std::uint8_t, 256> log{};
-  std::array<std::uint8_t, 512> exp{};  // doubled to skip a mod in mul
-
-  Tables() {
-    // Generator 0x03 is primitive for the AES polynomial 0x11b.
-    std::uint16_t x = 1;
-    for (int i = 0; i < 255; ++i) {
-      exp[i] = static_cast<std::uint8_t>(x);
-      log[x] = static_cast<std::uint8_t>(i);
-      // x *= 3 in GF(256): x*2 ^ x with reduction.
-      std::uint16_t x2 = static_cast<std::uint16_t>(x << 1);
-      if (x2 & 0x100) x2 ^= 0x11b;
-      x = static_cast<std::uint16_t>(x2 ^ x);
-    }
-    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
-    log[0] = 0;  // undefined; guarded by callers
-  }
-};
-
-const Tables& tables() {
-  static const Tables t;
-  return t;
-}
-
-}  // namespace
+// Scalar entry points share the sentinel-guarded log/exp tables with the
+// kernel layer (see gf256_kernels.h): log[0]'s sentinel makes products with
+// zero come out 0 without a branch, so mul() needs no zero guard at all.
 
 std::uint8_t Gf256::mul(std::uint8_t a, std::uint8_t b) {
-  if (a == 0 || b == 0) return 0;
-  const auto& t = tables();
+  const auto& t = detail::gf256_tables();
   return t.exp[t.log[a] + t.log[b]];
 }
 
 std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) {
   LRS_CHECK_MSG(b != 0, "division by zero in GF(256)");
   if (a == 0) return 0;
-  const auto& t = tables();
+  const auto& t = detail::gf256_tables();
   return t.exp[t.log[a] + 255 - t.log[b]];
 }
 
 std::uint8_t Gf256::inv(std::uint8_t a) {
   LRS_CHECK_MSG(a != 0, "inverse of zero in GF(256)");
-  const auto& t = tables();
+  const auto& t = detail::gf256_tables();
   return t.exp[255 - t.log[a]];
 }
 
 std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) {
   if (e == 0) return 1;
   if (a == 0) return 0;
-  const auto& t = tables();
+  const auto& t = detail::gf256_tables();
   const unsigned le = (static_cast<unsigned>(t.log[a]) * e) % 255;
   return t.exp[le];
 }
 
 void Gf256::addmul(MutByteView dst, ByteView src, std::uint8_t coeff) {
   LRS_CHECK(dst.size() == src.size());
-  if (coeff == 0) return;
-  if (coeff == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
-    return;
-  }
-  const auto& t = tables();
-  const unsigned lc = t.log[coeff];
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    const std::uint8_t s = src[i];
-    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
-  }
+  gf256_kernel().addmul(dst.data(), src.data(), dst.size(), coeff);
 }
 
 void Gf256::scale(MutByteView dst, std::uint8_t coeff) {
-  if (coeff == 1) return;
-  if (coeff == 0) {
-    for (auto& b : dst) b = 0;
-    return;
-  }
-  const auto& t = tables();
-  const unsigned lc = t.log[coeff];
-  for (auto& b : dst) {
-    if (b != 0) b = t.exp[lc + t.log[b]];
-  }
+  gf256_kernel().scale(dst.data(), dst.size(), coeff);
 }
 
 }  // namespace lrs::erasure

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/bitvec.h"
+#include "util/check.h"
 #include "util/types.h"
 
 namespace lrs::erasure {
@@ -21,12 +22,27 @@ class MatrixGf256 {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
-  std::uint8_t at(std::size_t r, std::size_t c) const;
-  void set(std::size_t r, std::size_t c, std::uint8_t v);
+  // Element and row access is inline with debug-only bounds checks:
+  // inverted()/multiply()/rank() call these per element, and an always-on
+  // check there dominates the Gaussian-elimination profile.
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    LRS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  void set(std::size_t r, std::size_t c, std::uint8_t v) {
+    LRS_DCHECK(r < rows_ && c < cols_);
+    data_[r * cols_ + c] = v;
+  }
 
   /// Row r as a contiguous view.
-  ByteView row(std::size_t r) const;
-  MutByteView row(std::size_t r);
+  ByteView row(std::size_t r) const {
+    LRS_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  MutByteView row(std::size_t r) {
+    LRS_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
 
   static MatrixGf256 identity(std::size_t n);
   MatrixGf256 multiply(const MatrixGf256& other) const;

@@ -31,3 +31,14 @@ namespace lrs::detail {
     if (!(expr))                                                     \
       ::lrs::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+// Debug-only check for per-element hot paths (matrix at/set, kernel inner
+// loops) where an always-on branch is measurable. Compiles away under
+// NDEBUG (Release/RelWithDebInfo); full LRS_CHECK otherwise.
+#ifdef NDEBUG
+#define LRS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define LRS_DCHECK(expr) LRS_CHECK(expr)
+#endif
