@@ -17,9 +17,7 @@
 namespace lrs::bench {
 namespace {
 
-void run() {
-  Table t({"p", "codec", "k'", "data_pkts", "snack_pkts", "total_bytes",
-           "latency_s"});
+void run(const BenchOptions& opt) {
   struct Variant {
     erasure::CodecKind kind;
     std::size_t delta;
@@ -31,7 +29,12 @@ void run() {
       {erasure::CodecKind::kRlcGf2, 2, "rlc2"},
       {erasure::CodecKind::kLt, 16, "lt(n=64)"},
   };
-  for (double p : {0.0, 0.1, 0.2}) {
+  const std::vector<double> losses =
+      opt.quick ? std::vector<double>{0.1} : std::vector<double>{0.0, 0.1,
+                                                                 0.2};
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::vector<std::string>> prefixes;
+  for (double p : losses) {
     for (const auto& v : variants) {
       auto cfg = paper_config(core::Scheme::kLrSeluge);
       cfg.params.codec = v.kind;
@@ -40,23 +43,34 @@ void run() {
       // a wider packet window so the threshold stays below n.
       if (v.kind == erasure::CodecKind::kLt) cfg.params.n = 64;
       cfg.loss_p = p;
-      const auto r = run_experiment_avg(cfg, 3);
-      t.add_row({format_num(p, 2), v.name,
-                 format_num(static_cast<double>(cfg.params.k + v.delta)),
-                 format_num(static_cast<double>(r.data_packets)),
-                 format_num(static_cast<double>(r.snack_packets)),
-                 format_num(static_cast<double>(r.total_bytes)),
-                 format_num(r.latency_s, 1)});
+      configs.push_back(cfg);
+      prefixes.push_back(
+          {format_num(p, 2), v.name,
+           format_num(static_cast<double>(cfg.params.k + v.delta))});
     }
   }
-  print_table("Ablation: erasure codec (LR-Seluge, one-hop, N=20, 3 seeds)",
+  const auto results = run_sweep(configs, opt);
+
+  Table t({"p", "codec", "k'", "data_pkts", "snack_pkts", "total_bytes",
+           "latency_s"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::vector<std::string> row = prefixes[i];
+    row.push_back(format_num(static_cast<double>(r.data_packets)));
+    row.push_back(format_num(static_cast<double>(r.snack_packets)));
+    row.push_back(format_num(static_cast<double>(r.total_bytes)));
+    row.push_back(format_num(r.latency_s, 1));
+    t.add_row(std::move(row));
+  }
+  print_table("Ablation: erasure codec (LR-Seluge, one-hop, N=20, " +
+                  std::to_string(opt.repeats) + " seeds)",
               t);
 }
 
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::run();
+int main(int argc, char** argv) {
+  lrs::bench::run(lrs::bench::parse_bench_options(argc, argv, 3));
   return 0;
 }

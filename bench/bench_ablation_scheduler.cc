@@ -14,31 +14,41 @@
 namespace lrs::bench {
 namespace {
 
-void run() {
-  Table t({"p", "scheduler", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s"});
-  for (double p : {0.0, 0.1, 0.2, 0.3}) {
+void run(const BenchOptions& opt) {
+  const std::vector<double> losses =
+      opt.quick ? std::vector<double>{0.2}
+                : std::vector<double>{0.0, 0.1, 0.2, 0.3};
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::vector<std::string>> prefixes;
+  for (double p : losses) {
     for (bool greedy : {true, false}) {
       auto cfg = paper_config(core::Scheme::kLrSeluge);
       cfg.params.lr_greedy_scheduler = greedy;
       cfg.loss_p = p;
-      const auto r = run_experiment_avg(cfg, 3);
-      std::vector<std::string> row{format_num(p, 2),
-                                   greedy ? "greedy-rr" : "union"};
-      for (auto& cell : metric_cells(r)) row.push_back(cell);
-      t.add_row(std::move(row));
+      configs.push_back(cfg);
+      prefixes.push_back({format_num(p, 2), greedy ? "greedy-rr" : "union"});
     }
+  }
+  const auto results = run_sweep(configs, opt);
+
+  Table t({"p", "scheduler", "data_pkts", "snack_pkts", "adv_pkts",
+           "total_bytes", "latency_s"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::vector<std::string> row = prefixes[i];
+    for (auto& cell : metric_cells(results[i])) row.push_back(cell);
+    t.add_row(std::move(row));
   }
   print_table(
       "Ablation: greedy round-robin vs union scheduling "
-      "(LR-Seluge, one-hop, N=20, 3 seeds)",
+      "(LR-Seluge, one-hop, N=20, " +
+          std::to_string(opt.repeats) + " seeds)",
       t);
 }
 
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::run();
+int main(int argc, char** argv) {
+  lrs::bench::run(lrs::bench::parse_bench_options(argc, argv, 3));
   return 0;
 }

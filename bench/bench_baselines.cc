@@ -18,37 +18,51 @@
 namespace lrs::bench {
 namespace {
 
-void run() {
-  Table t({"p", "scheme", "secure", "data_pkts", "snack_pkts",
-           "total_bytes", "latency_s"});
-  for (double p : {0.0, 0.1, 0.2, 0.3}) {
+void run(const BenchOptions& opt) {
+  const std::vector<double> losses =
+      opt.quick ? std::vector<double>{0.2}
+                : std::vector<double>{0.0, 0.1, 0.2, 0.3};
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::vector<std::string>> prefixes;
+  for (double p : losses) {
     for (auto scheme :
          {core::Scheme::kDeluge, core::Scheme::kRatelessDeluge,
           core::Scheme::kSluice, core::Scheme::kSeluge,
           core::Scheme::kLrSeluge}) {
       auto cfg = paper_config(scheme);
       cfg.loss_p = p;
-      const auto r = run_experiment_avg(cfg, 3);
       const char* secure =
           scheme == core::Scheme::kSeluge ||
                   scheme == core::Scheme::kLrSeluge
               ? "yes"
               : (scheme == core::Scheme::kSluice ? "integrity-only" : "no");
-      t.add_row({format_num(p, 2), core::scheme_name(scheme), secure,
-                 format_num(static_cast<double>(r.data_packets)),
-                 format_num(static_cast<double>(r.snack_packets)),
-                 format_num(static_cast<double>(r.total_bytes)),
-                 format_num(r.latency_s, 1)});
+      configs.push_back(cfg);
+      prefixes.push_back(
+          {format_num(p, 2), core::scheme_name(scheme), secure});
     }
   }
-  print_table(
-      "Baseline matrix: all five schemes (one-hop, N=20, 20 KB, 3 seeds)", t);
+  const auto results = run_sweep(configs, opt);
+
+  Table t({"p", "scheme", "secure", "data_pkts", "snack_pkts",
+           "total_bytes", "latency_s"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::vector<std::string> row = prefixes[i];
+    row.push_back(format_num(static_cast<double>(r.data_packets)));
+    row.push_back(format_num(static_cast<double>(r.snack_packets)));
+    row.push_back(format_num(static_cast<double>(r.total_bytes)));
+    row.push_back(format_num(r.latency_s, 1));
+    t.add_row(std::move(row));
+  }
+  print_table("Baseline matrix: all five schemes (one-hop, N=20, 20 KB, " +
+                  std::to_string(opt.repeats) + " seeds)",
+              t);
 }
 
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::run();
+int main(int argc, char** argv) {
+  lrs::bench::run(lrs::bench::parse_bench_options(argc, argv, 3));
   return 0;
 }

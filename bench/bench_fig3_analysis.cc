@@ -30,19 +30,33 @@ core::ExperimentConfig one_page_config(core::Scheme scheme, double p,
   return c;
 }
 
-double simulated_content_data(core::Scheme scheme, double p,
-                              std::size_t receivers) {
-  const auto r = run_experiment_avg(one_page_config(scheme, p, receivers), 5);
+double content_data(const core::ExperimentResult& r) {
   return static_cast<double>(r.data_packets) -
          static_cast<double>(r.page0_data_packets);
 }
 
-void part_a() {
+void part_a(const BenchOptions& opt) {
   const std::size_t kReceivers = 10;
   const auto base = paper_config(core::Scheme::kLrSeluge);
+  const std::vector<double> losses =
+      opt.quick
+          ? std::vector<double>{0.0, 0.2, 0.4}
+          : std::vector<double>{0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35,
+                                0.4, 0.45};
+
+  // Two configs (Seluge, LR-Seluge) per loss point, one shared sweep.
+  std::vector<core::ExperimentConfig> configs;
+  for (double p : losses) {
+    configs.push_back(one_page_config(core::Scheme::kSeluge, p, kReceivers));
+    configs.push_back(one_page_config(core::Scheme::kLrSeluge, p,
+                                      kReceivers));
+  }
+  const auto results = run_sweep(configs, opt);
+
   Table t({"p", "seluge_analytic", "seluge_sim", "acklr_analytic",
            "lr_sim", "one_round_prob"});
-  for (double p : {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45}) {
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const double p = losses[i];
     analysis::AckLrModel model;
     model.k_prime = base.params.k;
     model.n = base.params.n;
@@ -52,22 +66,33 @@ void part_a() {
     t.add_row({format_num(p, 2),
                format_num(analysis::seluge_expected_data_tx(
                    base.params.k, kReceivers, p), 1),
-               format_num(simulated_content_data(core::Scheme::kSeluge, p,
-                                                 kReceivers), 1),
+               format_num(content_data(results[2 * i]), 1),
                format_num(model.evaluate(), 1),
-               format_num(simulated_content_data(core::Scheme::kLrSeluge, p,
-                                                 kReceivers), 1),
+               format_num(content_data(results[2 * i + 1]), 1),
                format_num(analysis::one_round_completion_probability(
                    base.params.k, base.params.n, p), 3)});
   }
   print_table("Fig. 3(a): data packets per page vs loss rate (N=10)", t);
 }
 
-void part_b() {
+void part_b(const BenchOptions& opt) {
   const double kLoss = 0.2;
   const auto base = paper_config(core::Scheme::kLrSeluge);
+  const std::vector<std::size_t> counts =
+      opt.quick ? std::vector<std::size_t>{5, 20}
+                : std::vector<std::size_t>{1, 5, 10, 15, 20, 25, 30};
+
+  std::vector<core::ExperimentConfig> configs;
+  for (std::size_t n_recv : counts) {
+    configs.push_back(one_page_config(core::Scheme::kSeluge, kLoss, n_recv));
+    configs.push_back(one_page_config(core::Scheme::kLrSeluge, kLoss,
+                                      n_recv));
+  }
+  const auto results = run_sweep(configs, opt);
+
   Table t({"N", "seluge_analytic", "seluge_sim", "acklr_analytic", "lr_sim"});
-  for (std::size_t n_recv : {1u, 5u, 10u, 15u, 20u, 25u, 30u}) {
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::size_t n_recv = counts[i];
     analysis::AckLrModel model;
     model.k_prime = base.params.k;
     model.n = base.params.n;
@@ -77,11 +102,9 @@ void part_b() {
     t.add_row({format_num(static_cast<double>(n_recv)),
                format_num(analysis::seluge_expected_data_tx(
                    base.params.k, n_recv, kLoss), 1),
-               format_num(simulated_content_data(core::Scheme::kSeluge,
-                                                 kLoss, n_recv), 1),
+               format_num(content_data(results[2 * i]), 1),
                format_num(model.evaluate(), 1),
-               format_num(simulated_content_data(core::Scheme::kLrSeluge,
-                                                 kLoss, n_recv), 1)});
+               format_num(content_data(results[2 * i + 1]), 1)});
   }
   print_table("Fig. 3(b): data packets per page vs receivers (p=0.2)", t);
 }
@@ -89,8 +112,9 @@ void part_b() {
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::part_a();
-  lrs::bench::part_b();
+int main(int argc, char** argv) {
+  const auto opt = lrs::bench::parse_bench_options(argc, argv, 5);
+  lrs::bench::part_a(opt);
+  lrs::bench::part_b(opt);
   return 0;
 }

@@ -12,29 +12,39 @@
 namespace lrs::bench {
 namespace {
 
-void run() {
-  Table t({"p", "scheme", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s"});
-  for (double p : {0.0, 0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4}) {
+void run(const BenchOptions& opt) {
+  const std::vector<double> losses =
+      opt.quick ? std::vector<double>{0.1}
+                : std::vector<double>{0.0, 0.01, 0.05, 0.1, 0.15,
+                                      0.2, 0.3, 0.4};
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::vector<std::string>> prefixes;
+  for (double p : losses) {
     for (auto scheme : {core::Scheme::kSeluge, core::Scheme::kLrSeluge}) {
       auto cfg = paper_config(scheme);
       cfg.loss_p = p;
-      const auto r = run_experiment_avg(cfg, 3);
-      std::vector<std::string> row{format_num(p, 2),
-                                   core::scheme_name(scheme)};
-      for (auto& cell : metric_cells(r)) row.push_back(cell);
-      t.add_row(std::move(row));
+      configs.push_back(cfg);
+      prefixes.push_back({format_num(p, 2), core::scheme_name(scheme)});
     }
   }
-  print_table(
-      "Fig. 4: impact of loss rate p (one-hop, N=20, 20 KB image, 3 seeds)",
-      t);
+  const auto results = run_sweep(configs, opt);
+
+  Table t({"p", "scheme", "data_pkts", "snack_pkts", "adv_pkts",
+           "total_bytes", "latency_s"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::vector<std::string> row = prefixes[i];
+    for (auto& cell : metric_cells(results[i])) row.push_back(cell);
+    t.add_row(std::move(row));
+  }
+  print_table("Fig. 4: impact of loss rate p (one-hop, N=20, 20 KB image, " +
+                  std::to_string(opt.repeats) + " seeds)",
+              t);
 }
 
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::run();
+int main(int argc, char** argv) {
+  lrs::bench::run(lrs::bench::parse_bench_options(argc, argv, 3));
   return 0;
 }

@@ -11,30 +11,40 @@
 namespace lrs::bench {
 namespace {
 
-void run() {
-  Table t({"N", "scheme", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s"});
-  for (std::size_t n_recv : {4u, 8u, 12u, 16u, 20u, 24u, 28u, 32u}) {
+void run(const BenchOptions& opt) {
+  const std::vector<std::size_t> counts =
+      opt.quick ? std::vector<std::size_t>{8, 20}
+                : std::vector<std::size_t>{4, 8, 12, 16, 20, 24, 28, 32};
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::vector<std::string>> prefixes;
+  for (std::size_t n_recv : counts) {
     for (auto scheme : {core::Scheme::kSeluge, core::Scheme::kLrSeluge}) {
       auto cfg = paper_config(scheme);
       cfg.receivers = n_recv;
       cfg.loss_p = 0.1;
-      const auto r = run_experiment_avg(cfg, 3);
-      std::vector<std::string> row{format_num(static_cast<double>(n_recv)),
-                                   core::scheme_name(scheme)};
-      for (auto& cell : metric_cells(r)) row.push_back(cell);
-      t.add_row(std::move(row));
+      configs.push_back(cfg);
+      prefixes.push_back({format_num(static_cast<double>(n_recv)),
+                          core::scheme_name(scheme)});
     }
   }
-  print_table(
-      "Fig. 5: impact of receiver count N (one-hop, p=0.1, 20 KB, 3 seeds)",
-      t);
+  const auto results = run_sweep(configs, opt);
+
+  Table t({"N", "scheme", "data_pkts", "snack_pkts", "adv_pkts",
+           "total_bytes", "latency_s"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::vector<std::string> row = prefixes[i];
+    for (auto& cell : metric_cells(results[i])) row.push_back(cell);
+    t.add_row(std::move(row));
+  }
+  print_table("Fig. 5: impact of receiver count N (one-hop, p=0.1, 20 KB, " +
+                  std::to_string(opt.repeats) + " seeds)",
+              t);
 }
 
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::run();
+int main(int argc, char** argv) {
+  lrs::bench::run(lrs::bench::parse_bench_options(argc, argv, 3));
   return 0;
 }

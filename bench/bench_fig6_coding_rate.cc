@@ -11,39 +11,53 @@
 namespace lrs::bench {
 namespace {
 
-void run() {
-  Table t({"p", "n", "rate", "pages", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s"});
-  for (double p : {0.05, 0.1, 0.2}) {
-    for (std::size_t n : {32u, 36u, 40u, 44u, 48u, 52u, 56u, 60u, 64u}) {
+void run(const BenchOptions& opt) {
+  const std::vector<double> losses =
+      opt.quick ? std::vector<double>{0.1} : std::vector<double>{0.05, 0.1,
+                                                                 0.2};
+  const std::vector<std::size_t> rates =
+      opt.quick ? std::vector<std::size_t>{32, 48, 64}
+                : std::vector<std::size_t>{32, 36, 40, 44, 48, 52, 56, 60,
+                                           64};
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::vector<std::string>> prefixes;
+  for (double p : losses) {
+    for (std::size_t n : rates) {
       auto cfg = paper_config(core::Scheme::kLrSeluge);
       cfg.params.n = n;
       cfg.loss_p = p;
-      const auto r = run_experiment_avg(cfg, 3);
       // Page count from the capacity math (mirrors the builder).
-      const std::size_t mid =
-          cfg.params.k * cfg.params.payload_size - n * 8;
+      const std::size_t mid = cfg.params.k * cfg.params.payload_size - n * 8;
       const std::size_t last = cfg.params.k * cfg.params.payload_size;
       const std::size_t pages =
           cfg.image_size <= last
               ? 1
               : 1 + (cfg.image_size - last + mid - 1) / mid;
-      std::vector<std::string> row{
-          format_num(p, 2), format_num(static_cast<double>(n)),
-          format_num(static_cast<double>(n) / 32.0, 2),
-          format_num(static_cast<double>(pages))};
-      for (auto& cell : metric_cells(r)) row.push_back(cell);
-      t.add_row(std::move(row));
+      configs.push_back(cfg);
+      prefixes.push_back({format_num(p, 2),
+                          format_num(static_cast<double>(n)),
+                          format_num(static_cast<double>(n) / 32.0, 2),
+                          format_num(static_cast<double>(pages))});
     }
   }
-  print_table(
-      "Fig. 6: impact of coding rate n/k (one-hop, N=20, k=32, 3 seeds)", t);
+  const auto results = run_sweep(configs, opt);
+
+  Table t({"p", "n", "rate", "pages", "data_pkts", "snack_pkts", "adv_pkts",
+           "total_bytes", "latency_s"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::vector<std::string> row = prefixes[i];
+    for (auto& cell : metric_cells(results[i])) row.push_back(cell);
+    t.add_row(std::move(row));
+  }
+  print_table("Fig. 6: impact of coding rate n/k (one-hop, N=20, k=32, " +
+                  std::to_string(opt.repeats) + " seeds)",
+              t);
 }
 
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::run();
+int main(int argc, char** argv) {
+  lrs::bench::run(lrs::bench::parse_bench_options(argc, argv, 3));
   return 0;
 }

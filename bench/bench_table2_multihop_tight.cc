@@ -11,36 +11,45 @@
 namespace lrs::bench {
 namespace {
 
-void run() {
-  Table t({"scheme", "completed", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s", "radio_energy_j"});
+void run(const BenchOptions& opt) {
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::string> names;
   for (auto scheme : {core::Scheme::kSeluge, core::Scheme::kLrSeluge}) {
     auto cfg = paper_config(scheme);
     cfg.topo = core::ExperimentConfig::Topo::kGrid;
-    cfg.grid_rows = 15;
-    cfg.grid_cols = 15;
+    // --quick shrinks the grid: the full 15x15 run is minutes-long.
+    cfg.grid_rows = opt.quick ? 5 : 15;
+    cfg.grid_cols = opt.quick ? 5 : 15;
     cfg.grid_spacing = 10.0;  // tight: many strong links per node
     cfg.gilbert_elliott = true;  // heavy bursty noise
     cfg.time_limit = 3600LL * sim::kSecond;
-    const auto r = run_experiment_avg(cfg, 2);
+    configs.push_back(cfg);
+    names.push_back(core::scheme_name(scheme));
+  }
+  const auto results = run_sweep(configs, opt);
+
+  Table t({"scheme", "completed", "data_pkts", "snack_pkts", "adv_pkts",
+           "total_bytes", "latency_s", "radio_energy_j"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
     std::vector<std::string> row{
-        core::scheme_name(scheme),
-        format_num(static_cast<double>(r.completed)) + "/" +
-            format_num(static_cast<double>(r.receivers))};
+        names[i], format_num(static_cast<double>(r.completed)) + "/" +
+                      format_num(static_cast<double>(r.receivers))};
     for (auto& cell : metric_cells(r)) row.push_back(cell);
     row.push_back(format_num(
         (r.tx_energy_mj + r.rx_energy_mj + r.listen_energy_mj) / 1000.0, 1));
     t.add_row(std::move(row));
   }
-  print_table(
-      "Table II: 15x15 tight grid (225 nodes, heavy noise, 20 KB, 2 seeds)",
-      t);
+  print_table("Table II: " + std::string(opt.quick ? "5x5" : "15x15") +
+                  " tight grid (heavy noise, 20 KB, " +
+                  std::to_string(opt.repeats) + " seeds)",
+              t);
 }
 
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::run();
+int main(int argc, char** argv) {
+  lrs::bench::run(lrs::bench::parse_bench_options(argc, argv, 2));
   return 0;
 }

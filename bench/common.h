@@ -3,14 +3,65 @@
 // aligned human-readable table plus machine-readable CSV.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/run_trials.h"
+#include "util/args.h"
 #include "util/csv.h"
 
 namespace lrs::bench {
+
+/// Flags shared by every figure/table harness:
+///   --repeats=R  seeds averaged per sweep point (default: the harness's
+///                historical seed count; --quick forces 1 unless given)
+///   --jobs=J     worker threads for the trial runner (default: LRS_JOBS
+///                env or hardware concurrency)
+///   --quick      shrink the sweep to a smoke-test subset — used by CI
+struct BenchOptions {
+  std::size_t repeats = 3;
+  std::size_t jobs = 0;  // 0 = core::default_jobs()
+  bool quick = false;
+};
+
+inline BenchOptions parse_bench_options(int argc, const char* const* argv,
+                                        std::size_t default_repeats) {
+  Args args(argc, argv);
+  BenchOptions opt;
+  opt.quick = args.get_bool("quick", false);
+  const long repeats =
+      args.get_int("repeats",
+                   static_cast<long>(opt.quick ? 1 : default_repeats));
+  const long jobs = args.get_int("jobs", 0);
+  bool bad = repeats < 1 || jobs < 0;
+  for (const auto& e : args.errors()) {
+    std::cerr << "error: " << e << "\n";
+    bad = true;
+  }
+  for (const auto& u : args.unknown()) {
+    std::cerr << "error: unknown flag " << u << "\n";
+    bad = true;
+  }
+  if (bad) {
+    std::cerr << "usage: " << argv[0]
+              << " [--repeats=R] [--jobs=J] [--quick]\n";
+    std::exit(2);
+  }
+  opt.repeats = static_cast<std::size_t>(repeats);
+  opt.jobs = static_cast<std::size_t>(jobs);
+  return opt;
+}
+
+/// Runs every config in the sweep through the parallel trial runner;
+/// result i averages opt.repeats seeds of configs[i].
+inline std::vector<core::ExperimentResult> run_sweep(
+    const std::vector<core::ExperimentConfig>& configs,
+    const BenchOptions& opt) {
+  return core::run_experiments_avg(configs, opt.repeats, opt.jobs);
+}
 
 /// Paper-scale defaults: 20 KB image, k = 32, n = 48 (rate 1.5), 64-byte
 /// payloads, N = 20 receivers, Deluge Trickle constants.

@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include "core/run_trials.h"
+
 #include <vector>
 
 #include "core/lr_image.h"
@@ -152,45 +154,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
 ExperimentResult run_experiment_avg(const ExperimentConfig& config,
                                     std::size_t repeats) {
-  LRS_CHECK(repeats >= 1);
-  ExperimentResult avg;
-  double data = 0, snack = 0, adv = 0, sig = 0, bytes = 0, latency = 0;
-  for (std::size_t i = 0; i < repeats; ++i) {
-    ExperimentConfig c = config;
-    c.seed = config.seed + i;
-    const ExperimentResult r = run_experiment(c);
-    avg.receivers = r.receivers;
-    avg.completed += r.completed;
-    avg.all_complete = (i == 0 ? true : avg.all_complete) && r.all_complete;
-    avg.images_match = (i == 0 ? true : avg.images_match) && r.images_match;
-    data += static_cast<double>(r.data_packets);
-    avg.page0_data_packets += r.page0_data_packets;
-    snack += static_cast<double>(r.snack_packets);
-    adv += static_cast<double>(r.adv_packets);
-    sig += static_cast<double>(r.sig_packets);
-    bytes += static_cast<double>(r.total_bytes);
-    latency += r.latency_s;
-    avg.collisions += r.collisions;
-    avg.tx_energy_mj += r.tx_energy_mj / static_cast<double>(repeats);
-    avg.rx_energy_mj += r.rx_energy_mj / static_cast<double>(repeats);
-    avg.listen_energy_mj +=
-        r.listen_energy_mj / static_cast<double>(repeats);
-    avg.hash_verifications += r.hash_verifications;
-    avg.signature_verifications += r.signature_verifications;
-    avg.auth_failures += r.auth_failures;
-  }
-  const double inv = 1.0 / static_cast<double>(repeats);
-  avg.completed /= repeats;
-  avg.data_packets = static_cast<std::uint64_t>(data * inv + 0.5);
-  avg.page0_data_packets =
-      static_cast<std::uint64_t>(static_cast<double>(avg.page0_data_packets) *
-                                     inv + 0.5);
-  avg.snack_packets = static_cast<std::uint64_t>(snack * inv + 0.5);
-  avg.adv_packets = static_cast<std::uint64_t>(adv * inv + 0.5);
-  avg.sig_packets = static_cast<std::uint64_t>(sig * inv + 0.5);
-  avg.total_bytes = static_cast<std::uint64_t>(bytes * inv + 0.5);
-  avg.latency_s = latency * inv;
-  return avg;
+  const std::vector<ExperimentResult> trials = run_trials(config, repeats);
+  return aggregate_trials(trials);
 }
 
 }  // namespace lrs::core

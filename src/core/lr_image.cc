@@ -405,15 +405,22 @@ class LrSelugeState final : public proto::SchemeState {
       auto blocks = proto::split_fixed(view(input), params_.payload_size,
                                        params_.k);
       auto encoded = code_->encode(blocks);
-      std::vector<crypto::PacketHash> hashes(params_.n);
+      // All n preimages share one length, so the whole page hashes as a
+      // single multi-buffer batch (crypto/hash.h).
+      std::vector<Bytes> preimages(params_.n);
+      std::vector<ByteView> preimage_views(params_.n);
       for (std::size_t j = 0; j < params_.n; ++j) {
         proto::DataPacket probe;
         probe.version = params_.version;
         probe.page = static_cast<std::uint32_t>(p);
         probe.index = static_cast<std::uint32_t>(j);
         probe.payload = std::move(encoded[j]);
-        hashes[j] = crypto::packet_hash(view(probe.hash_preimage()));
+        preimages[j] = probe.hash_preimage();
+        preimage_views[j] = view(preimages[j]);
       }
+      std::vector<crypto::PacketHash> hashes(params_.n);
+      crypto::packet_hash_batch(preimage_views.data(), params_.n,
+                                hashes.data());
       inputs[p - 1] = std::move(blocks);
       all_hashes[p] = hashes;
       next_hashes = std::move(hashes);

@@ -1,0 +1,147 @@
+#include "core/run_trials.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+
+namespace lrs::core {
+
+std::size_t default_jobs() {
+  if (const char* env = std::getenv("LRS_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+namespace {
+
+/// Runs `count` index-addressed tasks on up to `jobs` threads. Work is
+/// handed out through an atomic counter, so scheduling is dynamic but the
+/// task for index i is fixed; the first exception (by whichever worker
+/// hits one) is rethrown on the caller's thread after all workers join.
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t jobs, const Fn& fn) {
+  if (count == 0) return;
+  const std::size_t workers = jobs < count ? jobs : count;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr err;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> run_trials(const ExperimentConfig& config,
+                                         std::size_t repeats,
+                                         std::size_t jobs) {
+  LRS_CHECK(repeats >= 1);
+  if (jobs == 0) jobs = default_jobs();
+
+  std::vector<ExperimentResult> results(repeats);
+  parallel_for(repeats, jobs, [&](std::size_t i) {
+    ExperimentConfig c = config;
+    c.seed = config.seed + i;
+    results[i] = run_experiment(c);
+  });
+  return results;
+}
+
+ExperimentResult aggregate_trials(std::span<const ExperimentResult> trials) {
+  const std::size_t repeats = trials.size();
+  LRS_CHECK(repeats >= 1);
+  ExperimentResult avg;
+  double data = 0, snack = 0, adv = 0, sig = 0, bytes = 0, latency = 0;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const ExperimentResult& r = trials[i];
+    avg.receivers = r.receivers;
+    avg.completed += r.completed;
+    avg.all_complete = (i == 0 ? true : avg.all_complete) && r.all_complete;
+    avg.images_match = (i == 0 ? true : avg.images_match) && r.images_match;
+    data += static_cast<double>(r.data_packets);
+    avg.page0_data_packets += r.page0_data_packets;
+    snack += static_cast<double>(r.snack_packets);
+    adv += static_cast<double>(r.adv_packets);
+    sig += static_cast<double>(r.sig_packets);
+    bytes += static_cast<double>(r.total_bytes);
+    latency += r.latency_s;
+    avg.collisions += r.collisions;
+    avg.tx_energy_mj += r.tx_energy_mj / static_cast<double>(repeats);
+    avg.rx_energy_mj += r.rx_energy_mj / static_cast<double>(repeats);
+    avg.listen_energy_mj += r.listen_energy_mj / static_cast<double>(repeats);
+    avg.hash_verifications += r.hash_verifications;
+    avg.signature_verifications += r.signature_verifications;
+    avg.auth_failures += r.auth_failures;
+  }
+  const double inv = 1.0 / static_cast<double>(repeats);
+  avg.completed /= repeats;
+  avg.data_packets = static_cast<std::uint64_t>(data * inv + 0.5);
+  avg.page0_data_packets = static_cast<std::uint64_t>(
+      static_cast<double>(avg.page0_data_packets) * inv + 0.5);
+  avg.snack_packets = static_cast<std::uint64_t>(snack * inv + 0.5);
+  avg.adv_packets = static_cast<std::uint64_t>(adv * inv + 0.5);
+  avg.sig_packets = static_cast<std::uint64_t>(sig * inv + 0.5);
+  avg.total_bytes = static_cast<std::uint64_t>(bytes * inv + 0.5);
+  avg.latency_s = latency * inv;
+  return avg;
+}
+
+std::vector<ExperimentResult> run_experiments_avg(
+    std::span<const ExperimentConfig> configs, std::size_t repeats,
+    std::size_t jobs) {
+  LRS_CHECK(repeats >= 1);
+  if (jobs == 0) jobs = default_jobs();
+
+  const std::size_t total = configs.size() * repeats;
+  std::vector<ExperimentResult> trials(total);
+  parallel_for(total, jobs, [&](std::size_t t) {
+    const std::size_t ci = t / repeats;
+    const std::size_t ri = t % repeats;
+    ExperimentConfig c = configs[ci];
+    c.seed = configs[ci].seed + ri;
+    trials[t] = run_experiment(c);
+  });
+
+  std::vector<ExperimentResult> out(configs.size());
+  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+    out[ci] = aggregate_trials(
+        std::span<const ExperimentResult>(trials).subspan(ci * repeats,
+                                                          repeats));
+  }
+  return out;
+}
+
+}  // namespace lrs::core

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "crypto/sha256.h"
 #include "util/types.h"
@@ -22,6 +23,18 @@ using PacketHash = std::array<std::uint8_t, kPacketHashSize>;
 
 /// SHA-256 truncated to the first kPacketHashSize bytes.
 PacketHash packet_hash(ByteView data);
+
+/// Hashes `count` independent messages: out[i] = SHA-256(msgs[i]).
+/// Same-length runs go through the multi-buffer SIMD kernel when one is
+/// active (see crypto/sha256_kernels.h); digests are byte-identical to
+/// one-shot Sha256::hash either way. This is the entry point for the
+/// many-hashes-at-once hot paths: per-page packet hashing, Merkle levels.
+void hash_batch(const ByteView* msgs, std::size_t count, Sha256Digest* out);
+std::vector<Sha256Digest> hash_batch(std::span<const ByteView> msgs);
+
+/// Batch variant of packet_hash (truncated digests).
+void packet_hash_batch(const ByteView* msgs, std::size_t count,
+                       PacketHash* out);
 
 /// Constant-time-ish comparison (not security-critical in a simulator, but
 /// the library should model good practice).

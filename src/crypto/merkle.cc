@@ -39,11 +39,40 @@ MerkleTree MerkleTree::build(const std::vector<Bytes>& leaves) {
   t.depth_ = static_cast<std::size_t>(std::countr_zero(leaves.size()));
   t.nodes_.resize(2 * t.leaf_count_);
 
-  for (std::size_t i = 0; i < t.leaf_count_; ++i) {
-    t.nodes_[t.leaf_count_ + i] = leaf_hash(view(leaves[i]));
+  // Leaf level: tag every leaf, then hash the whole level in one batch
+  // call so the multi-buffer kernels see same-length runs.
+  {
+    std::vector<Bytes> tagged(t.leaf_count_);
+    std::vector<ByteView> views(t.leaf_count_);
+    for (std::size_t i = 0; i < t.leaf_count_; ++i) {
+      Bytes& buf = tagged[i];
+      buf.reserve(leaves[i].size() + 1);
+      buf.push_back(kLeafTag);
+      buf.insert(buf.end(), leaves[i].begin(), leaves[i].end());
+      views[i] = view(buf);
+    }
+    packet_hash_batch(views.data(), t.leaf_count_,
+                      t.nodes_.data() + t.leaf_count_);
   }
-  for (std::size_t i = t.leaf_count_; i-- > 1;) {
-    t.nodes_[i] = node_hash(t.nodes_[2 * i], t.nodes_[2 * i + 1]);
+
+  // Internal levels, bottom-up one level at a time: nodes [w, 2w) feed
+  // nodes [w/2, w), and every preimage at a level has the same 17-byte
+  // shape, so each level is one uniform batch.
+  std::vector<Bytes> pre;
+  std::vector<ByteView> pre_views;
+  for (std::size_t width = t.leaf_count_ / 2; width >= 1; width /= 2) {
+    pre.assign(width, Bytes());
+    pre_views.resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      Bytes& buf = pre[i];
+      buf.reserve(1 + 2 * kPacketHashSize);
+      buf.push_back(kNodeTag);
+      const std::size_t node = width + i;
+      append(buf, t.nodes_[2 * node]);
+      append(buf, t.nodes_[2 * node + 1]);
+      pre_views[i] = view(buf);
+    }
+    packet_hash_batch(pre_views.data(), width, t.nodes_.data() + width);
   }
   return t;
 }

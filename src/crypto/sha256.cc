@@ -1,95 +1,19 @@
 #include "crypto/sha256.h"
 
-#include <bit>
 #include <cstring>
 
+#include "crypto/sha256_kernels.h"
 #include "util/check.h"
 
 namespace lrs::crypto {
 
-namespace {
-
-constexpr std::array<std::uint32_t, 64> kK = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
-
-std::uint32_t rotr(std::uint32_t x, int n) { return std::rotr(x, n); }
-
-std::uint32_t big_sigma0(std::uint32_t x) {
-  return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22);
-}
-std::uint32_t big_sigma1(std::uint32_t x) {
-  return rotr(x, 6) ^ rotr(x, 11) ^ rotr(x, 25);
-}
-std::uint32_t small_sigma0(std::uint32_t x) {
-  return rotr(x, 7) ^ rotr(x, 18) ^ (x >> 3);
-}
-std::uint32_t small_sigma1(std::uint32_t x) {
-  return rotr(x, 17) ^ rotr(x, 19) ^ (x >> 10);
-}
-std::uint32_t ch(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
-  return (x & y) ^ (~x & z);
-}
-std::uint32_t maj(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
-  return (x & y) ^ (x & z) ^ (y & z);
-}
-
-}  // namespace
-
 Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
-
-void Sha256::process_block(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) +
-           w[i - 16];
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t t1 = h + big_sigma1(e) + ch(e, f, g) + kK[i] + w[i];
-    const std::uint32_t t2 = big_sigma0(a) + maj(a, b, c);
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
+    : state_{kSha256Init[0], kSha256Init[1], kSha256Init[2], kSha256Init[3],
+             kSha256Init[4], kSha256Init[5], kSha256Init[6], kSha256Init[7]} {}
 
 Sha256& Sha256::update(ByteView data) {
   LRS_CHECK(!finalized_);
+  const Sha256Kernel& kernel = sha256_kernel();
   total_len_ += data.size();
   std::size_t offset = 0;
 
@@ -99,13 +23,15 @@ Sha256& Sha256::update(ByteView data) {
     buffer_len_ += take;
     offset += take;
     if (buffer_len_ == 64) {
-      process_block(buffer_.data());
+      kernel.compress(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
+  // All remaining whole blocks in one kernel call.
+  const std::size_t blocks = (data.size() - offset) / 64;
+  if (blocks > 0) {
+    kernel.compress(state_.data(), data.data() + offset, blocks);
+    offset += blocks * 64;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -131,7 +57,7 @@ Sha256Digest Sha256::finalize() {
   // The padding above brought buffer_len_ to exactly 56.
   LRS_CHECK(buffer_len_ == 56);
   std::memcpy(buffer_.data() + buffer_len_, len_be, 8);
-  process_block(buffer_.data());
+  sha256_kernel().compress(state_.data(), buffer_.data(), 1);
 
   Sha256Digest out;
   for (int i = 0; i < 8; ++i) {

@@ -2,7 +2,11 @@
 //
 // This is the single cryptographic hash underlying every authenticator in
 // the system: packet hash chains, the hash page, the Merkle tree, HMAC,
-// WOTS signatures and the message-specific puzzle.
+// WOTS signatures and the message-specific puzzle. The block compression
+// dispatches through the runtime-selected kernel layer in
+// crypto/sha256_kernels.h (scalar reference, unrolled portable, x86
+// SHA-NI); many-message workloads should prefer the batch entry points in
+// crypto/hash.h, which additionally use the multi-buffer SIMD kernels.
 #pragma once
 
 #include <array>
@@ -28,8 +32,6 @@ class Sha256 {
   static Sha256Digest hash(ByteView data);
 
  private:
-  void process_block(const std::uint8_t* block);
-
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffer_len_ = 0;

@@ -351,7 +351,8 @@ class SelugeState final : public SchemeState {
                 : params_.payload_size;
       auto blocks = split_blocks(view(slice), params_.k);
       std::vector<Bytes> page_payloads(params_.k);
-      std::vector<crypto::PacketHash> page_hashes(params_.k);
+      std::vector<Bytes> preimages(params_.k);
+      std::vector<ByteView> preimage_views(params_.k);
       for (std::size_t j = 0; j < params_.k; ++j) {
         LRS_CHECK(blocks[j].size() == data_len);
         Bytes payload = std::move(blocks[j]);
@@ -361,9 +362,14 @@ class SelugeState final : public SchemeState {
         probe.page = static_cast<std::uint32_t>(p);
         probe.index = static_cast<std::uint32_t>(j);
         probe.payload = std::move(payload);
-        page_hashes[j] = crypto::packet_hash(view(probe.hash_preimage()));
+        preimages[j] = probe.hash_preimage();
+        preimage_views[j] = view(preimages[j]);
         page_payloads[j] = std::move(probe.payload);
       }
+      // One uniform-length batch per page (crypto/hash.h).
+      std::vector<crypto::PacketHash> page_hashes(params_.k);
+      crypto::packet_hash_batch(preimage_views.data(), params_.k,
+                                page_hashes.data());
       payloads[p - 1] = std::move(page_payloads);
       next_hashes = std::move(page_hashes);
     }

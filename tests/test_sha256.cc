@@ -1,11 +1,19 @@
-// SHA-256 known-answer tests (FIPS 180-4 / NIST CAVP vectors) and
-// incremental-API behavior.
+// SHA-256 known-answer tests (FIPS 180-4 / NIST CAVP vectors),
+// incremental-API behavior, and differential tests for the dispatched
+// kernel layer: every compiled-in kernel (and the batch entry points) must
+// match the scalar reference byte-for-byte for every message length around
+// the block/padding boundaries.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
+#include "crypto/hash.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_kernels.h"
 #include "util/hex.h"
+#include "util/rng.h"
 
 namespace lrs::crypto {
 namespace {
@@ -89,6 +97,154 @@ TEST(Sha256, ReuseAfterFinalizeThrows) {
   ctx.finalize();
   EXPECT_THROW(ctx.update(Bytes{4}), std::logic_error);
   EXPECT_THROW(ctx.finalize(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel registry and differential tests.
+// ---------------------------------------------------------------------------
+
+Bytes random_bytes(std::size_t len, Rng& rng) {
+  Bytes b(len);
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform(256));
+  return b;
+}
+
+/// Restores the auto-selected kernel even when a test fails mid-way.
+struct KernelGuard {
+  ~KernelGuard() { sha256_set_kernel("auto"); }
+};
+
+TEST(Sha256Kernels, RegistryAlwaysHasRefAndUnrolled) {
+  const auto names = sha256_available_kernels();
+  EXPECT_NE(std::find(names.begin(), names.end(), "ref"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "unrolled"), names.end());
+  for (const auto& name : names) {
+    EXPECT_NE(sha256_find_kernel(name), nullptr) << name;
+  }
+  EXPECT_EQ(sha256_find_kernel("no-such-kernel"), nullptr);
+  EXPECT_EQ(sha256_find_kernel("auto"), nullptr);
+  for (const auto& name : sha256_available_batch_kernels()) {
+    const auto* k = sha256_find_batch_kernel(name);
+    ASSERT_NE(k, nullptr) << name;
+    EXPECT_GE(k->lanes, 1u) << name;
+  }
+  EXPECT_EQ(sha256_find_batch_kernel("no-such-kernel"), nullptr);
+}
+
+TEST(Sha256Kernels, SetKernelRejectsUnknownAndAcceptsAuto) {
+  KernelGuard guard;
+  const std::string before = sha256_kernel().name;
+  EXPECT_FALSE(sha256_set_kernel("no-such-kernel"));
+  EXPECT_EQ(sha256_kernel().name, before);  // unchanged on failure
+  EXPECT_TRUE(sha256_set_kernel("auto"));
+  EXPECT_TRUE(sha256_set_kernel(before));
+}
+
+TEST(Sha256Kernels, PinningScalarKernelDisablesBatchPath) {
+  KernelGuard guard;
+  ASSERT_TRUE(sha256_set_kernel("ref"));
+  EXPECT_EQ(sha256_batch_kernel(), nullptr);
+  ASSERT_TRUE(sha256_set_kernel("auto"));
+  if (!sha256_available_batch_kernels().empty()) {
+    EXPECT_NE(sha256_batch_kernel(), nullptr);
+  }
+}
+
+// Every kernel must produce the reference digest for every length 0..1025:
+// that range crosses the 55/56/64-byte padding branches, both one- and
+// two-block tails, and multi-block messages.
+TEST(Sha256Kernels, AllKernelsMatchReferenceForLengths0To1025) {
+  KernelGuard guard;
+  Rng rng(0x5eed);
+  std::vector<Bytes> messages;
+  for (std::size_t len = 0; len <= 1025; ++len) {
+    messages.push_back(random_bytes(len, rng));
+  }
+
+  ASSERT_TRUE(sha256_set_kernel("ref"));
+  std::vector<Sha256Digest> expected;
+  for (const auto& m : messages) expected.push_back(Sha256::hash(view(m)));
+
+  for (const auto& name : sha256_available_kernels()) {
+    ASSERT_TRUE(sha256_set_kernel(name)) << name;
+    for (std::size_t len = 0; len < messages.size(); ++len) {
+      ASSERT_EQ(Sha256::hash(view(messages[len])), expected[len])
+          << "kernel=" << name << " len=" << len;
+    }
+  }
+}
+
+// The raw batch compressors must agree with the reference compressor on
+// every lane, including ragged counts that exercise the remainder loop.
+TEST(Sha256Kernels, BatchCompressorsMatchReferenceCompressor) {
+  const Sha256Kernel* ref = sha256_find_kernel("ref");
+  ASSERT_NE(ref, nullptr);
+  Rng rng(0xba7c4);
+  for (const auto& name : sha256_available_batch_kernels()) {
+    const Sha256BatchKernel* batch = sha256_find_batch_kernel(name);
+    ASSERT_NE(batch, nullptr) << name;
+    for (std::size_t count : {1u, 3u, 4u, 5u, 8u, 9u, 17u}) {
+      const Bytes data = random_bytes(count * 64, rng);
+      std::vector<const std::uint8_t*> ptrs(count);
+      std::vector<std::uint32_t> got(count * 8), want(count * 8);
+      for (std::size_t i = 0; i < count; ++i) {
+        ptrs[i] = data.data() + 64 * i;
+        for (int j = 0; j < 8; ++j) {
+          got[8 * i + j] = want[8 * i + j] = kSha256Init[j];
+        }
+      }
+      batch->compress_batch(got.data(), ptrs.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ref->compress(want.data() + 8 * i, ptrs[i], 1);
+      }
+      ASSERT_EQ(got, want) << "kernel=" << name << " count=" << count;
+    }
+  }
+}
+
+// hash_batch must equal one-shot hashing whatever mix of lengths it sees
+// and whichever kernels are active.
+TEST(Sha256Kernels, HashBatchMatchesOneShotForAllKernels) {
+  KernelGuard guard;
+  Rng rng(0xfeed);
+  // Uniform runs (batch path), mixed lengths (run splitting), singletons.
+  std::vector<Bytes> messages;
+  for (std::size_t i = 0; i < 9; ++i) messages.push_back(random_bytes(64, rng));
+  for (std::size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 300u}) {
+    messages.push_back(random_bytes(len, rng));
+  }
+  for (std::size_t i = 0; i < 5; ++i) messages.push_back(random_bytes(77, rng));
+
+  std::vector<ByteView> views;
+  for (const auto& m : messages) views.push_back(view(m));
+
+  ASSERT_TRUE(sha256_set_kernel("ref"));
+  std::vector<Sha256Digest> expected;
+  for (const auto& m : messages) expected.push_back(Sha256::hash(view(m)));
+
+  std::vector<std::string> modes = sha256_available_kernels();
+  modes.push_back("auto");
+  for (const auto& name : modes) {
+    ASSERT_TRUE(sha256_set_kernel(name)) << name;
+    const auto got = hash_batch(std::span<const ByteView>(views));
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], expected[i]) << "kernel=" << name << " msg=" << i;
+    }
+  }
+}
+
+TEST(Sha256Kernels, PacketHashBatchMatchesPacketHash) {
+  Rng rng(0x9a5);
+  std::vector<Bytes> messages;
+  for (std::size_t i = 0; i < 48; ++i) messages.push_back(random_bytes(77, rng));
+  std::vector<ByteView> views;
+  for (const auto& m : messages) views.push_back(view(m));
+  std::vector<PacketHash> got(messages.size());
+  packet_hash_batch(views.data(), messages.size(), got.data());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    ASSERT_EQ(got[i], packet_hash(view(messages[i]))) << i;
+  }
 }
 
 }  // namespace
