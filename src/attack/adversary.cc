@@ -9,12 +9,18 @@ InjectorNode::InjectorNode(sim::Env& env, InjectorConfig config)
     : sim::Node(env), cfg_(config) {}
 
 void InjectorNode::on_start() {
-  env().schedule(cfg_.start_delay + cfg_.period, [this] { inject(); });
+  schedule_next(cfg_.start_delay + cfg_.period);
+}
+
+void InjectorNode::schedule_next(sim::SimTime delay) {
+  // Never arm an injection that would fire past the deadline: the event
+  // queue only drains when no event is pending, so a stray no-op event
+  // past stop_after would keep short simulations alive for nothing.
+  if (cfg_.stop_after > 0 && env().now() + delay > cfg_.stop_after) return;
+  env().schedule(delay, [this] { inject(); });
 }
 
 void InjectorNode::inject() {
-  if (cfg_.stop_after > 0 && env().now() > cfg_.stop_after) return;
-
   if (cfg_.forge_data) {
     proto::DataPacket d;
     d.version = cfg_.version;
@@ -48,7 +54,7 @@ void InjectorNode::inject() {
     ++injected_;
   }
 
-  env().schedule(cfg_.period, [this] { inject(); });
+  schedule_next(cfg_.period);
 }
 
 DenialOfReceiptNode::DenialOfReceiptNode(sim::Env& env,

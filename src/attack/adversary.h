@@ -51,6 +51,8 @@ class InjectorNode final : public sim::Node {
 
  private:
   void inject();
+  /// Arms the next injection, unless it would fire after `stop_after`.
+  void schedule_next(sim::SimTime delay);
 
   InjectorConfig cfg_;
   std::uint64_t injected_ = 0;

@@ -9,8 +9,10 @@
 #include "proto/deluge.h"
 #include "proto/engine.h"
 #include "proto/rateless.h"
+#include "proto/packet.h"
 #include "proto/sluice.h"
 #include "proto/seluge.h"
+#include "sim/invariants.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -106,6 +108,74 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         make_scheme(i == 0), cfg, cluster_key));
   }
 
+  if (config.faults.any()) {
+    simulator.set_fault_model(sim::make_fault_model(config.faults));
+  }
+
+  std::unique_ptr<sim::InvariantObserver> observer;
+  if (config.check_invariants) {
+    sim::InvariantConfig ic;
+    ic.expected_image = image;
+    // The checked subset follows the scheme's promises: only Seluge and
+    // LR-Seluge authenticate every packet before buffering, and only the
+    // LR greedy scheduler is bound by d = q + k' - n.
+    const bool authenticated = config.scheme == Scheme::kSeluge ||
+                               config.scheme == Scheme::kLrSeluge;
+    ic.check_immediate_auth = authenticated;
+    ic.check_tamper_rejection = authenticated;
+    ic.check_greedy_bound = config.scheme == Scheme::kLrSeluge &&
+                            config.params.lr_greedy_scheduler;
+    // Parse wire frames exactly the way the engine does (same keys), so
+    // forged SNACKs earn a server no send allowance.
+    ic.parse_snack = [key = cluster_key, leap = engine.leap_snack_auth,
+                      master = engine.leap_master](
+                         ByteView frame) -> std::optional<sim::SnackView> {
+      std::optional<proto::Snack> s;
+      if (leap) {
+        const auto sender = proto::Snack::peek_sender(frame);
+        if (!sender) return std::nullopt;
+        const Bytes source_key = proto::leap_source_key(view(master), *sender);
+        s = proto::Snack::parse(frame, view(source_key));
+      } else {
+        s = proto::Snack::parse(frame, view(key));
+      }
+      if (!s) return std::nullopt;
+      sim::SnackView v;
+      v.sender = s->sender;
+      v.target = s->target;
+      v.page = s->page;
+      v.signature_request = s->page == proto::kSignatureRequestPage;
+      v.requested = v.signature_request ? 0 : s->requested.count();
+      return v;
+    };
+    ic.parse_data = [](ByteView frame) -> std::optional<sim::DataView> {
+      const auto d = proto::DataPacket::parse(frame);
+      if (!d) return std::nullopt;
+      return sim::DataView{d->page, d->index};
+    };
+    observer = std::make_unique<sim::InvariantObserver>(std::move(ic));
+    for (std::size_t i = 0; i < node_count; ++i) {
+      proto::DissemNode* n = nodes[i];
+      sim::NodeProbe probe;
+      // Probe through the DissemNode on every call: scheme upgrades swap
+      // the SchemeState underneath.
+      probe.bootstrapped = [n] { return n->scheme().bootstrapped(); };
+      probe.pages_complete = [n] { return n->scheme().pages_complete(); };
+      probe.buffered_packets = [n] { return n->scheme().buffered_packets(); };
+      probe.image_complete = [n] { return n->scheme().image_complete(); };
+      probe.assemble_image = [n] { return n->scheme().assemble_image(); };
+      probe.engine_state = [n] { return static_cast<int>(n->state()); };
+      probe.packets_in_page = [n](std::uint32_t p) {
+        return n->scheme().packets_in_page(p);
+      };
+      probe.decode_threshold = [n](std::uint32_t p) {
+        return n->scheme().decode_threshold(p);
+      };
+      observer->attach(static_cast<NodeId>(i), std::move(probe));
+    }
+    simulator.set_observer(observer.get());
+  }
+
   auto& metrics = simulator.metrics();
   const auto done = [&] { return metrics.completed_count(0) == receiver_count; };
   simulator.run(config.time_limit, done);
@@ -148,6 +218,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       continue;
     }
     if (nodes[i]->scheme().assemble_image() != image) r.images_match = false;
+  }
+
+  r.tampered_frames = simulator.tampered_frames();
+  r.fault_drops = simulator.fault_drops();
+  r.reboots = simulator.reboots();
+  if (observer) {
+    observer->finalize(simulator.now());
+    r.invariant_checks = observer->checks_run();
+    r.invariant_violations = observer->violations().size();
+    if (!observer->ok()) {
+      r.first_violation = observer->violations().front().to_string();
+    }
   }
   return r;
 }

@@ -10,6 +10,7 @@
 
 #include "proto/params.h"
 #include "sim/channel.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 
 namespace lrs::core {
@@ -43,6 +44,14 @@ struct ExperimentConfig {
 
   sim::RadioParams radio{};
   sim::SimTime time_limit = 4LL * 3600 * sim::kSecond;
+
+  // Fault injection (corruption, truncation, duplication, reorder,
+  // crash/reboot) layered behind the loss model; empty plan = none.
+  sim::FaultPlan faults{};
+  // Attach the invariant observer (sim/invariants.h); the checked subset
+  // follows the scheme's guarantees. Off by default: probing every
+  // delivery costs time and the benign harnesses don't need it.
+  bool check_invariants = false;
 };
 
 struct ExperimentResult {
@@ -74,6 +83,16 @@ struct ExperimentResult {
 
   /// Every completed receiver reassembled exactly the published image.
   bool images_match = false;
+
+  /// Fault-layer accounting (zero when no fault plan is configured).
+  std::uint64_t tampered_frames = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t reboots = 0;
+
+  /// Invariant observer outcome (zero/empty unless check_invariants).
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
+  std::string first_violation;  // human-readable; empty when clean
 };
 
 /// Deterministic pseudorandom image of `size` bytes.

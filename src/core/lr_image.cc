@@ -99,6 +99,18 @@ class LrSelugeState final : public proto::SchemeState {
     return bits;
   }
 
+  std::size_t buffered_packets() const override {
+    return image_complete() ? 0 : shares_.size();
+  }
+
+  void on_reboot() override {
+    // Decoded pages and the verified signature metadata are flash-backed;
+    // the partially collected share set for the current page is not.
+    if (!meta_ || image_complete()) return;
+    reset_collection(complete_pages_);
+    serve_cache_.reset();
+  }
+
   DataStatus on_data(std::uint32_t page, std::uint32_t index,
                      ByteView payload, sim::NodeMetrics& m) override {
     if (!meta_) return DataStatus::kStale;  // cannot authenticate yet

@@ -105,6 +105,14 @@ ExperimentResult aggregate_trials(std::span<const ExperimentResult> trials) {
     avg.hash_verifications += r.hash_verifications;
     avg.signature_verifications += r.signature_verifications;
     avg.auth_failures += r.auth_failures;
+    avg.tampered_frames += r.tampered_frames;
+    avg.fault_drops += r.fault_drops;
+    avg.reboots += r.reboots;
+    avg.invariant_checks += r.invariant_checks;
+    avg.invariant_violations += r.invariant_violations;
+    if (avg.first_violation.empty() && !r.first_violation.empty()) {
+      avg.first_violation = r.first_violation;
+    }
   }
   const double inv = 1.0 / static_cast<double>(repeats);
   avg.completed /= repeats;

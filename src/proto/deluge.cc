@@ -73,6 +73,19 @@ class DelugeState final : public SchemeState {
     return bits;
   }
 
+  std::size_t buffered_packets() const override {
+    if (complete_pages_ >= pages_.size()) return 0;
+    std::size_t n = 0;
+    for (const auto& slot : pages_[complete_pages_]) n += slot.has_value();
+    return n;
+  }
+
+  void on_reboot() override {
+    // Completed pages live in flash; the in-progress page buffer is RAM.
+    if (complete_pages_ >= pages_.size()) return;
+    for (auto& slot : pages_[complete_pages_]) slot.reset();
+  }
+
   DataStatus on_data(std::uint32_t page, std::uint32_t index,
                      ByteView payload, sim::NodeMetrics&) override {
     if (page != complete_pages_ || page >= pages_.size()) {

@@ -37,6 +37,16 @@ void DissemNode::on_start() {
   trickle_restart();
 }
 
+void DissemNode::on_reboot() {
+  // A watchdog reset: the scheme drops its volatile page buffer (the
+  // persisted frontier survives inside it), and every timer, session and
+  // neighbor table is gone with the RAM.
+  scheme_->on_reboot();
+  reset_protocol_state();
+  trickle_restart();
+  consider_rx();
+}
+
 // --------------------------------------------------------------------------
 // Advertisements / Trickle
 // --------------------------------------------------------------------------

@@ -35,6 +35,9 @@ class DissemNode : public sim::Node {
 
   void on_start() override;
   void on_receive(ByteView frame) override;
+  /// Crash/reboot fault: volatile protocol + scheme state resets, the
+  /// scheme's persisted page frontier survives.
+  void on_reboot() override;
 
   /// Replaces the node's image state (base-station side of an upgrade:
   /// the operator pushes a new, signed image into the network). Receivers

@@ -136,6 +136,18 @@ class RatelessState final : public SchemeState {
     return bits;
   }
 
+  std::size_t buffered_packets() const override {
+    if (image_complete()) return 0;
+    std::size_t n = 0;
+    for (std::size_t j = 0; j < window(); ++j) n += have_.get(j);
+    return n;
+  }
+
+  void on_reboot() override {
+    // Decoded pages persist; the partial elimination state is RAM.
+    if (!image_complete()) reset_collection();
+  }
+
   DataStatus on_data(std::uint32_t page, std::uint32_t index,
                      ByteView payload, sim::NodeMetrics& m) override {
     if (page != complete_pages_ || page >= pages_.size()) {

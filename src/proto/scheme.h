@@ -51,6 +51,17 @@ class SchemeState {
   /// received/stored).
   virtual BitVec request_bits(std::uint32_t page) const = 0;
 
+  /// Packets currently buffered for the in-progress (not yet complete)
+  /// page — the volatile RAM a crash would lose. Zero once the image is
+  /// complete. Invariant checkers use this to verify nothing is buffered
+  /// before authentication succeeds.
+  virtual std::size_t buffered_packets() const { return 0; }
+
+  /// Crash/reboot: drop the volatile in-progress page buffer, keep what a
+  /// real node persists to flash (completed pages, verified bootstrap
+  /// metadata). Default: nothing volatile to lose.
+  virtual void on_reboot() {}
+
   /// Authenticates and stores a received data packet. `m` is charged for
   /// verification work. Only packets of page pages_complete() make
   /// progress; others are kStale.

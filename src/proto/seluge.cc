@@ -97,6 +97,30 @@ class SelugeState final : public SchemeState {
     return bits;
   }
 
+  std::size_t buffered_packets() const override {
+    if (!meta_ || image_complete()) return 0;
+    std::size_t n = 0;
+    if (complete_pages_ == 0) {
+      for (const auto& slot : hash_page_packets_) n += slot.has_value();
+    } else {
+      for (const auto& slot : content_pages_[complete_pages_ - 1]) {
+        n += slot.has_value();
+      }
+    }
+    return n;
+  }
+
+  void on_reboot() override {
+    // Every buffered packet here already passed per-packet authentication,
+    // but it still lives in RAM until the page completes and is flushed.
+    if (!meta_ || image_complete()) return;
+    if (complete_pages_ == 0) {
+      for (auto& slot : hash_page_packets_) slot.reset();
+    } else {
+      for (auto& slot : content_pages_[complete_pages_ - 1]) slot.reset();
+    }
+  }
+
   DataStatus on_data(std::uint32_t page, std::uint32_t index,
                      ByteView payload, sim::NodeMetrics& m) override {
     if (!meta_) return DataStatus::kStale;  // cannot authenticate yet

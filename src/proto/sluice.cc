@@ -68,6 +68,20 @@ class SluiceState final : public SchemeState {
     return bits;
   }
 
+  std::size_t buffered_packets() const override {
+    if (!meta_ || complete_pages_ >= meta_->content_pages) return 0;
+    std::size_t n = 0;
+    for (const auto& slot : pages_[complete_pages_]) n += slot.has_value();
+    return n;
+  }
+
+  void on_reboot() override {
+    // Verified pages and the adopted signature metadata persist; the
+    // unverified in-progress page buffer does not.
+    if (!meta_ || complete_pages_ >= meta_->content_pages) return;
+    for (auto& slot : pages_[complete_pages_]) slot.reset();
+  }
+
   DataStatus on_data(std::uint32_t page, std::uint32_t index,
                      ByteView payload, sim::NodeMetrics& m) override {
     if (!meta_) return DataStatus::kStale;

@@ -1,0 +1,269 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace lrs::sim {
+
+namespace {
+
+class CorruptionFault final : public FaultModel {
+ public:
+  explicit CorruptionFault(CorruptionFaultParams p) : p_(p) {}
+
+  void apply(NodeId /*from*/, NodeId /*to*/, SimTime /*now*/, Bytes& frame,
+             FaultAction& action, Rng& rng) override {
+    if (frame.empty() || !rng.bernoulli(p_.prob)) return;
+    if (p_.burst) {
+      const std::size_t len = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(
+                                 std::min(p_.burst_len, frame.size()))));
+      const std::size_t start = static_cast<std::size_t>(
+          rng.uniform(static_cast<std::uint64_t>(frame.size() - len + 1)));
+      for (std::size_t i = 0; i < len; ++i) {
+        // xor with 1..255 guarantees each byte in the burst changes
+        frame[start + i] ^= static_cast<std::uint8_t>(rng.uniform(255) + 1);
+      }
+    } else {
+      const std::uint64_t total_bits =
+          static_cast<std::uint64_t>(frame.size()) * 8;
+      const std::size_t flips = std::min<std::size_t>(
+          static_cast<std::size_t>(
+              rng.uniform_int(1, static_cast<std::int64_t>(
+                                     std::max<std::size_t>(1, p_.max_flips)))),
+          static_cast<std::size_t>(total_bits));
+      // Distinct bit positions: an even number of flips landing on the
+      // same bit would cancel out, silently breaking the "guaranteed to
+      // change the frame" contract (and the tampered marking with it).
+      std::vector<std::uint64_t> bits;
+      bits.reserve(flips);
+      while (bits.size() < flips) {
+        const std::uint64_t bit = rng.uniform(total_bits);
+        if (std::find(bits.begin(), bits.end(), bit) != bits.end()) continue;
+        bits.push_back(bit);
+        frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+    action.tampered = true;
+  }
+
+ private:
+  CorruptionFaultParams p_;
+};
+
+class TruncationFault final : public FaultModel {
+ public:
+  explicit TruncationFault(TruncationFaultParams p) : p_(p) {}
+
+  void apply(NodeId /*from*/, NodeId /*to*/, SimTime /*now*/, Bytes& frame,
+             FaultAction& action, Rng& rng) override {
+    if (!frame.empty() && rng.bernoulli(p_.truncate_prob)) {
+      frame.resize(static_cast<std::size_t>(
+          rng.uniform(static_cast<std::uint64_t>(frame.size()))));
+      action.tampered = true;
+    }
+    if (p_.max_pad > 0 && rng.bernoulli(p_.pad_prob)) {
+      const std::size_t pad = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(p_.max_pad)));
+      for (std::size_t i = 0; i < pad; ++i) {
+        frame.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+      }
+      action.tampered = true;
+    }
+  }
+
+ private:
+  TruncationFaultParams p_;
+};
+
+class DuplicationFault final : public FaultModel {
+ public:
+  explicit DuplicationFault(DuplicationFaultParams p) : p_(p) {}
+
+  void apply(NodeId /*from*/, NodeId /*to*/, SimTime /*now*/, Bytes& /*frame*/,
+             FaultAction& action, Rng& rng) override {
+    if (p_.max_copies < 2 || !rng.bernoulli(p_.prob)) return;
+    action.copies *= static_cast<std::size_t>(
+        rng.uniform_int(2, static_cast<std::int64_t>(p_.max_copies)));
+  }
+
+ private:
+  DuplicationFaultParams p_;
+};
+
+class ReorderFault final : public FaultModel {
+ public:
+  explicit ReorderFault(ReorderFaultParams p) : p_(p) {}
+
+  void apply(NodeId /*from*/, NodeId /*to*/, SimTime /*now*/, Bytes& /*frame*/,
+             FaultAction& action, Rng& rng) override {
+    if (p_.max_delay <= 0 || !rng.bernoulli(p_.prob)) return;
+    action.delay += static_cast<SimTime>(
+        rng.uniform_int(1, static_cast<std::int64_t>(p_.max_delay)));
+  }
+
+ private:
+  ReorderFaultParams p_;
+};
+
+class CrashFault final : public FaultModel {
+ public:
+  explicit CrashFault(std::vector<CrashEvent> events)
+      : events_(std::move(events)) {}
+
+  void apply(NodeId /*from*/, NodeId /*to*/, SimTime /*now*/, Bytes& /*frame*/,
+             FaultAction& /*action*/, Rng& /*rng*/) override {}
+
+  bool is_down(NodeId node, SimTime now) const override {
+    for (const auto& e : events_) {
+      if (e.node == node && now >= e.at && now < e.at + e.downtime) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<CrashEvent> crash_events() const override { return events_; }
+
+ private:
+  std::vector<CrashEvent> events_;
+};
+
+class FaultChain final : public FaultModel {
+ public:
+  explicit FaultChain(std::vector<std::unique_ptr<FaultModel>> models)
+      : models_(std::move(models)) {}
+
+  void apply(NodeId from, NodeId to, SimTime now, Bytes& frame,
+             FaultAction& action, Rng& rng) override {
+    for (auto& m : models_) {
+      m->apply(from, to, now, frame, action, rng);
+      if (action.drop) return;
+    }
+  }
+
+  bool is_down(NodeId node, SimTime now) const override {
+    for (const auto& m : models_) {
+      if (m->is_down(node, now)) return true;
+    }
+    return false;
+  }
+
+  std::vector<CrashEvent> crash_events() const override {
+    std::vector<CrashEvent> all;
+    for (const auto& m : models_) {
+      auto sub = m->crash_events();
+      all.insert(all.end(), sub.begin(), sub.end());
+    }
+    return all;
+  }
+
+ private:
+  std::vector<std::unique_ptr<FaultModel>> models_;
+};
+
+}  // namespace
+
+std::unique_ptr<FaultModel> make_corruption_fault(CorruptionFaultParams p) {
+  return std::make_unique<CorruptionFault>(p);
+}
+
+std::unique_ptr<FaultModel> make_truncation_fault(TruncationFaultParams p) {
+  return std::make_unique<TruncationFault>(p);
+}
+
+std::unique_ptr<FaultModel> make_duplication_fault(DuplicationFaultParams p) {
+  return std::make_unique<DuplicationFault>(p);
+}
+
+std::unique_ptr<FaultModel> make_reorder_fault(ReorderFaultParams p) {
+  return std::make_unique<ReorderFault>(p);
+}
+
+std::unique_ptr<FaultModel> make_crash_fault(std::vector<CrashEvent> events) {
+  return std::make_unique<CrashFault>(std::move(events));
+}
+
+std::unique_ptr<FaultModel> make_fault_chain(
+    std::vector<std::unique_ptr<FaultModel>> models) {
+  return std::make_unique<FaultChain>(std::move(models));
+}
+
+bool FaultPlan::any() const {
+  return corrupt_prob > 0 || truncate_prob > 0 || pad_prob > 0 ||
+         duplicate_prob > 0 || reorder_prob > 0 || !crashes.empty();
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ' ';
+    first = false;
+  };
+  if (corrupt_prob > 0) {
+    sep();
+    os << "corrupt(p=" << corrupt_prob;
+    if (corrupt_burst) {
+      os << ",burst=" << corrupt_burst_len;
+    } else {
+      os << ",flips=" << corrupt_max_flips;
+    }
+    os << ')';
+  }
+  if (truncate_prob > 0) {
+    sep();
+    os << "truncate(p=" << truncate_prob << ')';
+  }
+  if (pad_prob > 0) {
+    sep();
+    os << "pad(p=" << pad_prob << ",max=" << max_pad << ')';
+  }
+  if (duplicate_prob > 0) {
+    sep();
+    os << "dup(p=" << duplicate_prob << ",max=" << max_copies << ')';
+  }
+  if (reorder_prob > 0) {
+    sep();
+    os << "reorder(p=" << reorder_prob
+       << ",max=" << to_seconds(reorder_max_delay) << "s)";
+  }
+  for (const auto& c : crashes) {
+    sep();
+    os << "crash(n" << c.node << '@' << to_seconds(c.at) << "s+"
+       << to_seconds(c.downtime) << "s)";
+  }
+  if (first) os << "none";
+  return os.str();
+}
+
+std::unique_ptr<FaultModel> make_fault_model(const FaultPlan& plan) {
+  if (!plan.any()) return nullptr;
+  std::vector<std::unique_ptr<FaultModel>> models;
+  if (plan.corrupt_prob > 0) {
+    models.push_back(make_corruption_fault({plan.corrupt_prob,
+                                            plan.corrupt_max_flips,
+                                            plan.corrupt_burst,
+                                            plan.corrupt_burst_len}));
+  }
+  if (plan.truncate_prob > 0 || plan.pad_prob > 0) {
+    models.push_back(make_truncation_fault(
+        {plan.truncate_prob, plan.pad_prob, plan.max_pad}));
+  }
+  if (plan.duplicate_prob > 0) {
+    models.push_back(
+        make_duplication_fault({plan.duplicate_prob, plan.max_copies}));
+  }
+  if (plan.reorder_prob > 0) {
+    models.push_back(
+        make_reorder_fault({plan.reorder_prob, plan.reorder_max_delay}));
+  }
+  if (!plan.crashes.empty()) {
+    models.push_back(make_crash_fault(plan.crashes));
+  }
+  if (models.size() == 1) return std::move(models.front());
+  return make_fault_chain(std::move(models));
+}
+
+}  // namespace lrs::sim

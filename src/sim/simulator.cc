@@ -83,6 +83,11 @@ Simulator::Simulator(Topology topology, std::unique_ptr<LossModel> loss,
 
 Simulator::~Simulator() = default;
 
+void Simulator::set_fault_model(std::unique_ptr<FaultModel> fault) {
+  LRS_CHECK_MSG(!started_, "fault model must be installed before run()");
+  fault_ = std::move(fault);
+}
+
 Env& Simulator::make_env() {
   LRS_CHECK_MSG(envs_.size() < topology_.size(),
                 "more nodes than topology positions");
@@ -104,6 +109,17 @@ void Simulator::start_if_needed() {
   for (auto& node : nodes_) {
     queue_.schedule_at(0, [n = node.get()] { n->on_start(); });
   }
+  if (fault_) {
+    for (const auto& e : fault_->crash_events()) {
+      LRS_CHECK(e.node < nodes_.size());
+      queue_.schedule_at(e.at + e.downtime, [this, node = e.node] {
+        ++reboots_;
+        LRS_LOG(kDebug) << "REBOOT node " << node << " at " << queue_.now();
+        nodes_[node]->on_reboot();
+        if (observer_) observer_->on_reboot(queue_.now(), node);
+      });
+    }
+  }
 }
 
 bool Simulator::run(SimTime limit, const std::function<bool()>& done) {
@@ -118,6 +134,11 @@ bool Simulator::run(SimTime limit, const std::function<bool()>& done) {
 }
 
 void Simulator::enqueue_frame(NodeId sender, PacketClass cls, Bytes frame) {
+  if (fault_ && fault_->is_down(sender, queue_.now())) {
+    // Radio is off during a crash window: the frame never reaches the MAC.
+    ++fault_drops_;
+    return;
+  }
   auto& st = states_[sender];
   st.tx_queue.emplace_back(cls, std::move(frame));
   if (!st.attempt_scheduled && !st.transmitting) {
@@ -146,6 +167,12 @@ void Simulator::attempt_send(NodeId sender) {
   auto& st = states_[sender];
   st.attempt_scheduled = false;
   if (st.tx_queue.empty() || st.transmitting) return;
+  if (fault_ && fault_->is_down(sender, queue_.now())) {
+    // The node crashed with frames queued: the MAC queue dies with it.
+    fault_drops_ += st.tx_queue.size();
+    st.tx_queue.clear();
+    return;
+  }
 
   if (carrier_busy(sender)) {
     // Binary exponential backoff.
@@ -176,6 +203,9 @@ void Simulator::begin_transmission(NodeId sender) {
   tx->corrupted.assign(neighbors.size(), false);
 
   metrics_->record_send(sender, cls, tx->frame.size());
+  if (observer_) {
+    observer_->on_send(queue_.now(), sender, cls, view(tx->frame));
+  }
   metrics_->node(sender).tx_airtime_us +=
       static_cast<std::uint64_t>(duration);
   LRS_LOG(kTrace) << "TX node " << sender << " class "
@@ -240,8 +270,7 @@ void Simulator::end_transmission(NodeId sender,
     if (!rs.rng.bernoulli(topology_.prr(sender, r))) continue;
     if (!loss_->delivered(sender, r, queue_.now(), rs.rng)) continue;
 
-    metrics_->record_receive(r, tx->cls);
-    nodes_[r]->on_receive(view(tx->frame));
+    deliver(sender, r, tx->cls, tx->frame);
   }
 
   // Node may have queued more frames while transmitting.
@@ -250,6 +279,63 @@ void Simulator::end_transmission(NodeId sender,
                      radio_.backoff_initial +
                          static_cast<SimTime>(st.rng.uniform(
                              static_cast<std::uint64_t>(radio_.backoff_window))));
+  }
+}
+
+void Simulator::deliver(NodeId sender, NodeId receiver, PacketClass cls,
+                        const Bytes& frame) {
+  if (!fault_) {
+    // Fast path: no copy, no extra rng draws — historical seeds replay
+    // byte-identically.
+    deliver_now(sender, receiver, cls, frame, /*tampered=*/false);
+    return;
+  }
+  if (fault_->is_down(receiver, queue_.now())) {
+    ++fault_drops_;
+    return;
+  }
+  Bytes mutated = frame;
+  FaultAction action;
+  fault_->apply(sender, receiver, queue_.now(), mutated, action,
+                states_[receiver].rng);
+  if (action.drop) {
+    ++fault_drops_;
+    return;
+  }
+  if (action.tampered) ++tampered_frames_;
+  LRS_CHECK(action.copies >= 1);
+  LRS_CHECK(action.delay >= 0);
+  if (action.delay == 0) {
+    deliver_now(sender, receiver, cls, mutated, action.tampered);
+  }
+  // Duplicates (and delayed originals) go back through the event queue so
+  // later frames can overtake them; a crash window is re-checked at the
+  // rescheduled delivery time.
+  const std::size_t deferred = action.copies - (action.delay == 0 ? 1 : 0);
+  for (std::size_t c = 0; c < deferred; ++c) {
+    queue_.schedule_at(
+        queue_.now() + action.delay,
+        [this, sender, receiver, cls, mutated, tampered = action.tampered] {
+          if (fault_ && fault_->is_down(receiver, queue_.now())) {
+            ++fault_drops_;
+            return;
+          }
+          deliver_now(sender, receiver, cls, mutated, tampered);
+        });
+  }
+}
+
+void Simulator::deliver_now(NodeId sender, NodeId receiver, PacketClass cls,
+                            const Bytes& frame, bool tampered) {
+  metrics_->record_receive(receiver, cls);
+  if (observer_) {
+    observer_->before_deliver(queue_.now(), sender, receiver, cls,
+                              view(frame), tampered);
+  }
+  nodes_[receiver]->on_receive(view(frame));
+  if (observer_) {
+    observer_->after_deliver(queue_.now(), sender, receiver, cls,
+                             view(frame), tampered);
   }
 }
 

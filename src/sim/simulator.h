@@ -16,6 +16,7 @@
 
 #include "sim/channel.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 #include "sim/time.h"
 #include "sim/topology.h"
@@ -79,6 +80,10 @@ class Node {
   virtual void on_start() = 0;
   /// Called for every frame that survives the channel.
   virtual void on_receive(ByteView frame) = 0;
+  /// Called when a crash/reboot fault schedule restarts this node: volatile
+  /// protocol state is gone, persisted storage (completed pages, bootstrap
+  /// metadata) survives. Default: nothing to lose.
+  virtual void on_reboot() {}
 
  protected:
   Env& env() { return env_; }
@@ -88,11 +93,58 @@ class Node {
   Env& env_;
 };
 
+/// Passive hook into the simulator's packet stream — invariant checkers and
+/// protocol tracers attach one without perturbing the run. Every callback
+/// defaults to a no-op. Deliveries are synchronous, so a before/after pair
+/// brackets exactly one frame's effect on the receiving node.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void on_send(SimTime now, NodeId sender, PacketClass cls,
+                       ByteView frame) {
+    (void)now;
+    (void)sender;
+    (void)cls;
+    (void)frame;
+  }
+  virtual void before_deliver(SimTime now, NodeId from, NodeId to,
+                              PacketClass cls, ByteView frame, bool tampered) {
+    (void)now;
+    (void)from;
+    (void)to;
+    (void)cls;
+    (void)frame;
+    (void)tampered;
+  }
+  virtual void after_deliver(SimTime now, NodeId from, NodeId to,
+                             PacketClass cls, ByteView frame, bool tampered) {
+    (void)now;
+    (void)from;
+    (void)to;
+    (void)cls;
+    (void)frame;
+    (void)tampered;
+  }
+  virtual void on_reboot(SimTime now, NodeId node) {
+    (void)now;
+    (void)node;
+  }
+};
+
 class Simulator {
  public:
   Simulator(Topology topology, std::unique_ptr<LossModel> loss,
             RadioParams radio, std::uint64_t seed);
   ~Simulator();
+
+  /// Installs a fault layer between the loss model and delivery. Must be
+  /// set before run(); pass nullptr for none (the default). Without a fault
+  /// model the per-receiver Rng streams see exactly the same draws as
+  /// before this hook existed, so historical seeds replay unchanged.
+  void set_fault_model(std::unique_ptr<FaultModel> fault);
+
+  /// Attaches a passive observer (not owned; may be nullptr to detach).
+  void set_observer(SimObserver* observer) { observer_ = observer; }
 
   /// Creates a node of type T whose constructor receives (Env&, args...).
   /// Nodes must be added in NodeId order 0..topology.size()-1 before run().
@@ -121,6 +173,13 @@ class Simulator {
   /// exposed for radio-model tests and diagnostics.
   std::uint64_t collisions() const { return collisions_; }
 
+  /// Fault-layer accounting: frames whose bytes the fault model altered,
+  /// frames it swallowed (drops plus deliveries to crashed nodes), and
+  /// crash/reboot events fired.
+  std::uint64_t tampered_frames() const { return tampered_frames_; }
+  std::uint64_t fault_drops() const { return fault_drops_; }
+  std::uint64_t reboots() const { return reboots_; }
+
  private:
   class SimEnv;
   struct Transmission;
@@ -137,19 +196,28 @@ class Simulator {
   void begin_transmission(NodeId sender);
   void end_transmission(NodeId sender,
                         const std::shared_ptr<Transmission>& tx);
+  void deliver(NodeId sender, NodeId receiver, PacketClass cls,
+               const Bytes& frame);
+  void deliver_now(NodeId sender, NodeId receiver, PacketClass cls,
+                   const Bytes& frame, bool tampered);
 
   Topology topology_;
   std::unique_ptr<LossModel> loss_;
+  std::unique_ptr<FaultModel> fault_;
   RadioParams radio_;
   Rng rng_;
   EventQueue queue_;
   std::unique_ptr<Metrics> metrics_;
+  SimObserver* observer_ = nullptr;
 
   std::vector<std::unique_ptr<SimEnv>> envs_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<NodeState> states_;
   bool started_ = false;
   std::uint64_t collisions_ = 0;
+  std::uint64_t tampered_frames_ = 0;
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t reboots_ = 0;
 };
 
 }  // namespace lrs::sim

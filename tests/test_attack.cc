@@ -341,6 +341,34 @@ TEST(Attack, LeapEndToEndStillDisseminates) {
   EXPECT_TRUE(r.images_match);
 }
 
+TEST(Attack, InjectorStopAfterLeavesNoStragglerEvent) {
+  // Regression: the injector used to reschedule unconditionally and rely on
+  // a guard inside inject(), so one no-op event always fired past
+  // stop_after — keeping otherwise-finished simulations alive for an extra
+  // period. Now the next injection is simply never armed past the deadline.
+  struct IdleNode final : sim::Node {
+    using sim::Node::Node;
+    void on_start() override {}
+    void on_receive(ByteView) override {}
+  };
+
+  sim::Simulator simulator(sim::Topology::star(1),
+                           sim::make_perfect_channel(), sim::RadioParams{}, 5);
+  simulator.add_node<IdleNode>();
+  InjectorConfig icfg;
+  icfg.period = 500 * sim::kMillisecond;
+  icfg.stop_after = 2 * sim::kSecond;
+  auto& attacker = simulator.add_node<InjectorNode>(icfg);
+
+  simulator.run(600 * sim::kSecond);
+  // Injections at 0.5/1.0/1.5/2.0s (the deadline itself still fires)...
+  EXPECT_EQ(attacker.injected(), 4u);
+  // ...and the queue drains right after the last frame's delivery — the
+  // clock never reaches the old straggler slot at 2.5s.
+  EXPECT_LT(simulator.now(), icfg.stop_after + icfg.period / 2);
+  EXPECT_GE(simulator.now(), icfg.stop_after);
+}
+
 TEST(Attack, TamperedControlPacketsRejectedByClusterMac) {
   AttackRig rig(2);
   // An attacker without the cluster key forges SNACKs at the base station;
