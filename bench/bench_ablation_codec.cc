@@ -52,19 +52,22 @@ void run(const BenchOptions& opt) {
   const auto results = run_sweep(configs, opt);
 
   Table t({"p", "codec", "k'", "data_pkts", "snack_pkts", "total_bytes",
-           "latency_s"});
+           "recv_bytes", "latency_s", "completed"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::vector<std::string> row = prefixes[i];
     row.push_back(format_num(static_cast<double>(r.data_packets)));
     row.push_back(format_num(static_cast<double>(r.snack_packets)));
     row.push_back(format_num(static_cast<double>(r.total_bytes)));
+    row.push_back(format_num(static_cast<double>(r.received_bytes)));
     row.push_back(format_num(r.latency_s, 1));
+    row.push_back(r.all_complete ? "true" : "false");
     t.add_row(std::move(row));
   }
   print_table("Ablation: erasure codec (LR-Seluge, one-hop, N=20, " +
                   std::to_string(opt.repeats) + " seeds)",
               t);
+  write_bench_json("ablation_codec", t, sweep_extras(opt));
 }
 
 }  // namespace

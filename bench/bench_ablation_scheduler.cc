@@ -31,8 +31,9 @@ void run(const BenchOptions& opt) {
   }
   const auto results = run_sweep(configs, opt);
 
-  Table t({"p", "scheduler", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s"});
+  std::vector<std::string> header{"p", "scheduler"};
+  header.insert(header.end(), kMetricHeader.begin(), kMetricHeader.end());
+  Table t(std::move(header));
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::vector<std::string> row = prefixes[i];
     for (auto& cell : metric_cells(results[i])) row.push_back(cell);
@@ -43,6 +44,7 @@ void run(const BenchOptions& opt) {
       "(LR-Seluge, one-hop, N=20, " +
           std::to_string(opt.repeats) + " seeds)",
       t);
+  write_bench_json("ablation_scheduler", t, sweep_extras(opt));
 }
 
 }  // namespace

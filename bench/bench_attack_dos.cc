@@ -46,7 +46,8 @@ struct Outcome {
 enum class Victim { kLrSeluge, kDeluge, kSluice };
 
 Outcome run_scenario(Victim victim, bool with_attacker, bool forge_data,
-                     bool forge_sigs, bool solve_puzzles) {
+                     bool forge_sigs, bool solve_puzzles,
+                     const sim::TraceExportConfig& trace = {}) {
   proto::CommonParams params;
   params.payload_size = 64;
   params.k = 16;
@@ -112,6 +113,12 @@ Outcome run_scenario(Victim victim, bool with_attacker, bool forge_data,
     attacker = &simulator.add_node<InjectorNode>(icfg);
   }
 
+  std::unique_ptr<sim::TraceRecorder> tracer;
+  if (trace.enabled()) {
+    tracer = std::make_unique<sim::TraceRecorder>();
+    simulator.add_observer(tracer.get());
+  }
+
   const auto done = [&] {
     for (std::size_t i = 1; i <= kReceivers; ++i) {
       if (!nodes[i]->image_complete()) return false;
@@ -119,6 +126,10 @@ Outcome run_scenario(Victim victim, bool with_attacker, bool forge_data,
     return true;
   };
   simulator.run(900LL * sim::kSecond, done);
+  if (tracer) {
+    sim::export_trace(*tracer, trace,
+                      kReceivers + 1 + (with_attacker ? 1 : 0));
+  }
 
   Outcome out;
   out.complete = done();
@@ -137,7 +148,7 @@ Outcome run_scenario(Victim victim, bool with_attacker, bool forge_data,
   return out;
 }
 
-void run() {
+void run(const BenchOptions& opt) {
   Table t({"scenario", "complete", "images_intact", "injected",
            "auth_failures", "hash_ops", "sig_verifies", "puzzle_rejects",
            "latency_s"});
@@ -156,9 +167,14 @@ void run() {
       {"deluge/baseline", Victim::kDeluge, false, false, false, false},
       {"deluge/data-flood", Victim::kDeluge, true, true, false, false},
   };
+  // --trace/--timeseries record the lr/data-flood scenario — the one whose
+  // auth-failure event stream the trace is for.
+  std::size_t index = 0;
   for (const auto& s : scenarios) {
-    const Outcome o = run_scenario(s.victim, s.attacker, s.data, s.sigs,
-                                   s.solve);
+    const bool traced = index++ == 1;
+    const Outcome o =
+        run_scenario(s.victim, s.attacker, s.data, s.sigs, s.solve,
+                     traced ? trace_config(opt) : sim::TraceExportConfig{});
     t.add_row({s.name, o.complete ? "yes" : "NO", o.intact ? "yes" : "NO",
                format_num(static_cast<double>(o.injected)),
                format_num(static_cast<double>(o.auth_failures)),
@@ -168,6 +184,8 @@ void run() {
                format_num(o.latency_s, 1)});
   }
   print_table("Attack resilience: forged traffic vs dissemination", t);
+  write_bench_json("attack_dos", t,
+                   {{"receivers", "4"}, {"seed", "5"}, {"image_kb", "8"}});
   std::cout << "\nReading guide: lr/* scenarios must complete with intact\n"
                "images; forged data costs one hash each (auth_failures),\n"
                "forged signatures die at the puzzle check unless the\n"
@@ -182,7 +200,7 @@ void run() {
 }  // namespace
 }  // namespace lrs::bench
 
-int main() {
-  lrs::bench::run();
+int main(int argc, char** argv) {
+  lrs::bench::run(lrs::bench::parse_bench_options(argc, argv, 1));
   return 0;
 }

@@ -73,6 +73,7 @@ void part_a(const BenchOptions& opt) {
                    base.params.k, base.params.n, p), 3)});
   }
   print_table("Fig. 3(a): data packets per page vs loss rate (N=10)", t);
+  write_bench_json("fig3a_analysis", t, sweep_extras(opt));
 }
 
 void part_b(const BenchOptions& opt) {
@@ -107,6 +108,7 @@ void part_b(const BenchOptions& opt) {
                format_num(content_data(results[2 * i + 1]), 1)});
   }
   print_table("Fig. 3(b): data packets per page vs receivers (p=0.2)", t);
+  write_bench_json("fig3b_analysis", t, sweep_extras(opt));
 }
 
 }  // namespace
@@ -115,6 +117,12 @@ void part_b(const BenchOptions& opt) {
 int main(int argc, char** argv) {
   const auto opt = lrs::bench::parse_bench_options(argc, argv, 5);
   lrs::bench::part_a(opt);
-  lrs::bench::part_b(opt);
+  // --trace/--timeseries apply to part (a) only; a second traced sweep
+  // would overwrite part (a)'s files at the same paths.
+  auto opt_b = opt;
+  opt_b.trace.clear();
+  opt_b.timeseries.clear();
+  opt_b.trace_all = false;
+  lrs::bench::part_b(opt_b);
   return 0;
 }

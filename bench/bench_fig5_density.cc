@@ -29,8 +29,9 @@ void run(const BenchOptions& opt) {
   }
   const auto results = run_sweep(configs, opt);
 
-  Table t({"N", "scheme", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s"});
+  std::vector<std::string> header{"N", "scheme"};
+  header.insert(header.end(), kMetricHeader.begin(), kMetricHeader.end());
+  Table t(std::move(header));
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::vector<std::string> row = prefixes[i];
     for (auto& cell : metric_cells(results[i])) row.push_back(cell);
@@ -39,6 +40,7 @@ void run(const BenchOptions& opt) {
   print_table("Fig. 5: impact of receiver count N (one-hop, p=0.1, 20 KB, " +
                   std::to_string(opt.repeats) + " seeds)",
               t);
+  write_bench_json("fig5_density", t, sweep_extras(opt));
 }
 
 }  // namespace

@@ -42,8 +42,9 @@ void run(const BenchOptions& opt) {
   }
   const auto results = run_sweep(configs, opt);
 
-  Table t({"p", "n", "rate", "pages", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s"});
+  std::vector<std::string> header{"p", "n", "rate", "pages"};
+  header.insert(header.end(), kMetricHeader.begin(), kMetricHeader.end());
+  Table t(std::move(header));
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::vector<std::string> row = prefixes[i];
     for (auto& cell : metric_cells(results[i])) row.push_back(cell);
@@ -52,6 +53,7 @@ void run(const BenchOptions& opt) {
   print_table("Fig. 6: impact of coding rate n/k (one-hop, N=20, k=32, " +
                   std::to_string(opt.repeats) + " seeds)",
               t);
+  write_bench_json("fig6_coding_rate", t, sweep_extras(opt));
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include "crypto/sha256.h"
 #include "crypto/sha256_kernels.h"
 #include "crypto/wots.h"
+#include "core/provenance.h"
 #include "util/rng.h"
 
 namespace {
@@ -414,6 +415,7 @@ void write_json(const std::vector<SweepResult>& results,
   }
   const Sha256BatchKernel* batch = sha256_batch_kernel();
   out << "{\n  \"benchmark\": \"bench_micro_crypto\",\n"
+      << "  \"provenance\": " << core::provenance_json("  ") << ",\n"
       << "  \"active_kernel\": \"" << sha256_kernel().name << "\",\n"
       << "  \"active_batch_kernel\": \""
       << (batch != nullptr ? batch->name : "none") << "\",\n"

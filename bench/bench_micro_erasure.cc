@@ -20,6 +20,7 @@
 #include "erasure/code.h"
 #include "erasure/gf256.h"
 #include "erasure/gf256_kernels.h"
+#include "core/provenance.h"
 #include "erasure/matrix.h"
 #include "util/rng.h"
 
@@ -302,6 +303,7 @@ void write_json(const std::vector<SweepResult>& results,
     return;
   }
   out << "{\n  \"benchmark\": \"bench_micro_erasure\",\n"
+      << "  \"provenance\": " << core::provenance_json("  ") << ",\n"
       << "  \"active_kernel\": \"" << gf256_kernel().name << "\",\n"
       << "  \"kernels\": [";
   const auto names = gf256_available_kernels();

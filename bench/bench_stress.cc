@@ -13,8 +13,11 @@
 // Flags: --seeds=N (per plan; default 20 quick / 50 full), --jobs=J,
 // --quick (LR-Seluge only, CI smoke), --scheme=lr-seluge|seluge|deluge
 // (restrict the matrix), --replay=... (single-trial replay, exit 1 on
-// failure). Writes BENCH_stress.json (override with LRS_BENCH_JSON,
-// skip with LRS_BENCH_JSON=none).
+// failure), --trace=T.jsonl / --timeseries=TS.json (structured event
+// trace of the first matrix cell's first seed — or of the replayed trial —
+// see docs/observability.md). Writes BENCH_stress.json stamped with the
+// run-provenance manifest (override with LRS_BENCH_JSON, skip with
+// LRS_BENCH_JSON=none).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -23,9 +26,12 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "core/experiment.h"
+#include "core/provenance.h"
 #include "core/run_trials.h"
 #include "sim/faults.h"
+#include "sim/trace.h"
 #include "util/args.h"
 #include "util/csv.h"
 
@@ -179,6 +185,7 @@ void write_json(const std::vector<CellResult>& cells, std::size_t combos,
     return;
   }
   out << "{\n  \"benchmark\": \"bench_stress\",\n"
+      << "  \"provenance\": " << core::provenance_json("  ") << ",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
       << "  \"combos\": " << combos << ",\n"
       << "  \"failures\": " << failures << ",\n"
@@ -199,7 +206,7 @@ void write_json(const std::vector<CellResult>& cells, std::size_t combos,
             << "\n";
 }
 
-int replay(const std::string& spec) {
+int replay(const std::string& spec, const sim::TraceExportConfig& trace) {
   // --replay=<scheme>:<plan>:<seed>
   const auto c1 = spec.find(':');
   const auto c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
@@ -227,7 +234,8 @@ int replay(const std::string& spec) {
     return 2;
   }
 
-  const auto cfg = stress_config(*scheme, *plan, seed);
+  auto cfg = stress_config(*scheme, *plan, seed);
+  cfg.trace = trace;
   const auto r = run_experiment(cfg);
   std::cout << "replay " << spec << "  faults=" << plan->describe() << "\n"
             << "  completed:  " << r.completed << "/" << r.receivers << "\n"
@@ -253,6 +261,12 @@ int run_sweep(int argc, char** argv) {
   const std::string only_scheme = args.get("scheme", "");
   const long seeds_flag = args.get_int("seeds", quick ? 20 : 50);
   const long jobs_flag = args.get_int("jobs", 0);
+  sim::TraceExportConfig trace;
+  trace.events_path = args.get("trace", "");
+  if (!trace.events_path.empty()) {
+    trace.chrome_path = bench::chrome_trace_path(trace.events_path);
+  }
+  trace.timeseries_path = args.get("timeseries", "");
   bool bad = seeds_flag < 1 || jobs_flag < 0;
   if (!only_scheme.empty() && !parse_scheme(only_scheme)) {
     std::cerr << "error: unknown scheme '" << only_scheme << "'\n";
@@ -269,10 +283,11 @@ int run_sweep(int argc, char** argv) {
   if (bad) {
     std::cerr << "usage: " << argv[0]
               << " [--seeds=N] [--jobs=J] [--quick] [--scheme=S]"
-              << " [--replay=<scheme>:<plan>:<seed>]\n";
+              << " [--replay=<scheme>:<plan>:<seed>]"
+              << " [--trace=T.jsonl] [--timeseries=TS.json]\n";
     return 2;
   }
-  if (!replay_spec.empty()) return replay(replay_spec);
+  if (!replay_spec.empty()) return replay(replay_spec, trace);
 
   const std::size_t seeds = static_cast<std::size_t>(seeds_flag);
   const std::size_t jobs = static_cast<std::size_t>(jobs_flag);
@@ -297,7 +312,10 @@ int run_sweep(int argc, char** argv) {
         scheme == Scheme::kSeluge || scheme == Scheme::kLrSeluge;
     for (const auto& np : matrix) {
       if (np.mutates && !authenticated) continue;
-      const auto base = stress_config(scheme, np.plan, 1);
+      auto base = stress_config(scheme, np.plan, 1);
+      // The trace flags record the first matrix cell (seed routing — first
+      // trial only, or every seed under all_trials — is run_trials').
+      if (cells.empty()) base.trace = trace;
       const auto trials = core::run_trials(base, seeds, jobs);
 
       CellResult cell;

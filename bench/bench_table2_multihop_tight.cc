@@ -28,8 +28,10 @@ void run(const BenchOptions& opt) {
   }
   const auto results = run_sweep(configs, opt);
 
-  Table t({"scheme", "completed", "data_pkts", "snack_pkts", "adv_pkts",
-           "total_bytes", "latency_s", "radio_energy_j"});
+  std::vector<std::string> header{"scheme", "completed_nodes"};
+  header.insert(header.end(), kMetricHeader.begin(), kMetricHeader.end());
+  header.push_back("radio_energy_j");
+  Table t(std::move(header));
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::vector<std::string> row{
@@ -44,6 +46,7 @@ void run(const BenchOptions& opt) {
                   " tight grid (heavy noise, 20 KB, " +
                   std::to_string(opt.repeats) + " seeds)",
               t);
+  write_bench_json("table2_multihop_tight", t, sweep_extras(opt));
 }
 
 }  // namespace

@@ -1,14 +1,18 @@
 // Shared plumbing for the figure/table harnesses: each binary regenerates
 // one table or figure of the paper's evaluation (§V-§VI), printing an
-// aligned human-readable table plus machine-readable CSV.
+// aligned human-readable table plus machine-readable CSV, and writing a
+// provenance-stamped BENCH_<name>.json artifact for cross-PR comparison.
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/provenance.h"
 #include "core/run_trials.h"
 #include "util/args.h"
 #include "util/csv.h"
@@ -16,16 +20,49 @@
 namespace lrs::bench {
 
 /// Flags shared by every figure/table harness:
-///   --repeats=R  seeds averaged per sweep point (default: the harness's
-///                historical seed count; --quick forces 1 unless given)
-///   --jobs=J     worker threads for the trial runner (default: LRS_JOBS
-///                env or hardware concurrency)
-///   --quick      shrink the sweep to a smoke-test subset — used by CI
+///   --repeats=R    seeds averaged per sweep point (default: the harness's
+///                  historical seed count; --quick forces 1 unless given)
+///   --jobs=J       worker threads for the trial runner (default: LRS_JOBS
+///                  env or hardware concurrency)
+///   --quick        shrink the sweep to a smoke-test subset — used by CI
+///   --trace=P      record the structured event trace of the first trial
+///                  to P (JSONL) plus a Chrome-trace twin at
+///                  P-with-extension-.chrome.json
+///   --timeseries=P write the sampled progress counters of the first trial
+///                  to P (JSON)
+///   --trace-all    trace every (config, trial) cell of the sweep to
+///                  derived ".cN.tM" paths instead of only the first
 struct BenchOptions {
   std::size_t repeats = 3;
   std::size_t jobs = 0;  // 0 = core::default_jobs()
   bool quick = false;
+  std::string trace;       // JSONL event-log path; empty = no trace
+  std::string timeseries;  // progress time-series path; empty = none
+  bool trace_all = false;
 };
+
+/// "t.jsonl" -> "t.chrome.json" (tag appended when there is no extension).
+inline std::string chrome_trace_path(const std::string& events_path) {
+  const auto slash = events_path.find_last_of('/');
+  const auto dot = events_path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return events_path + ".chrome.json";
+  }
+  return events_path.substr(0, dot) + ".chrome.json";
+}
+
+/// The sim-layer export destinations encoded by the --trace/--timeseries
+/// flags. Empty (disabled — the null-recorder fast path) when neither flag
+/// was given.
+inline sim::TraceExportConfig trace_config(const BenchOptions& opt) {
+  sim::TraceExportConfig t;
+  t.events_path = opt.trace;
+  if (!opt.trace.empty()) t.chrome_path = chrome_trace_path(opt.trace);
+  t.timeseries_path = opt.timeseries;
+  t.all_trials = opt.trace_all;
+  return t;
+}
 
 inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                                         std::size_t default_repeats) {
@@ -36,7 +73,14 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
       args.get_int("repeats",
                    static_cast<long>(opt.quick ? 1 : default_repeats));
   const long jobs = args.get_int("jobs", 0);
+  opt.trace = args.get("trace", "");
+  opt.timeseries = args.get("timeseries", "");
+  opt.trace_all = args.get_bool("trace-all", false);
   bool bad = repeats < 1 || jobs < 0;
+  if (opt.trace_all && opt.trace.empty() && opt.timeseries.empty()) {
+    std::cerr << "error: --trace-all needs --trace and/or --timeseries\n";
+    bad = true;
+  }
   for (const auto& e : args.errors()) {
     std::cerr << "error: " << e << "\n";
     bad = true;
@@ -47,7 +91,8 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   }
   if (bad) {
     std::cerr << "usage: " << argv[0]
-              << " [--repeats=R] [--jobs=J] [--quick]\n";
+              << " [--repeats=R] [--jobs=J] [--quick] [--trace=T.jsonl]"
+                 " [--timeseries=TS.json] [--trace-all]\n";
     std::exit(2);
   }
   opt.repeats = static_cast<std::size_t>(repeats);
@@ -56,10 +101,13 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
 }
 
 /// Runs every config in the sweep through the parallel trial runner;
-/// result i averages opt.repeats seeds of configs[i].
+/// result i averages opt.repeats seeds of configs[i]. Trace flags apply to
+/// the whole sweep: cell (config 0, trial 0) writes the exact requested
+/// paths, other cells only under --trace-all (see sim::trace_for_trial).
 inline std::vector<core::ExperimentResult> run_sweep(
-    const std::vector<core::ExperimentConfig>& configs,
-    const BenchOptions& opt) {
+    std::vector<core::ExperimentConfig> configs, const BenchOptions& opt) {
+  const sim::TraceExportConfig trace = trace_config(opt);
+  for (auto& c : configs) c.trace = trace;
   return core::run_experiments_avg(configs, opt.repeats, opt.jobs);
 }
 
@@ -82,18 +130,23 @@ inline core::ExperimentConfig paper_config(core::Scheme scheme) {
   return c;
 }
 
-/// The paper's five metrics as table cells.
+/// The paper's five metrics — plus received bytes (rx-side goodput) and an
+/// explicit completion flag, so an incomplete run is visible instead of
+/// silently reporting the time-limit as latency.
 inline std::vector<std::string> metric_cells(
     const core::ExperimentResult& r) {
   return {format_num(static_cast<double>(r.data_packets)),
           format_num(static_cast<double>(r.snack_packets)),
           format_num(static_cast<double>(r.adv_packets)),
           format_num(static_cast<double>(r.total_bytes)),
-          format_num(r.latency_s, 1)};
+          format_num(static_cast<double>(r.received_bytes)),
+          format_num(r.latency_s, 1),
+          r.all_complete ? "true" : "false"};
 }
 
 inline const std::vector<std::string> kMetricHeader = {
-    "data_pkts", "snack_pkts", "adv_pkts", "total_bytes", "latency_s"};
+    "data_pkts", "snack_pkts", "adv_pkts",  "total_bytes",
+    "recv_bytes", "latency_s",  "completed"};
 
 inline void print_table(const std::string& title, const Table& table) {
   std::cout << "\n== " << title << " ==\n";
@@ -101,6 +154,75 @@ inline void print_table(const std::string& title, const Table& table) {
   std::cout << "\n-- CSV --\n";
   table.print_csv(std::cout);
   std::cout.flush();
+}
+
+/// True when a CSV cell can be emitted as a bare JSON token (number or
+/// boolean) rather than a quoted string.
+inline bool json_bare_cell(const std::string& s) {
+  if (s == "true" || s == "false") return true;
+  if (s.empty()) return false;
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i >= s.size()) return false;
+  bool digit = false, dot = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] >= '0' && s[i] <= '9') {
+      digit = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digit;
+}
+
+/// Writes the harness result table as BENCH_<name>.json, stamped with the
+/// run-provenance manifest (core/provenance.h) plus harness-level facts
+/// (repeats, sweep shape). Honors the LRS_BENCH_JSON convention shared
+/// with the microbenchmarks: a path overrides the default, "none" skips.
+inline void write_bench_json(
+    const std::string& name, const Table& table,
+    const std::vector<std::pair<std::string, std::string>>& extra = {}) {
+  const char* env = std::getenv("LRS_BENCH_JSON");
+  const std::string path =
+      env != nullptr && env[0] != '\0' ? env : "BENCH_" + name + ".json";
+  if (path == "none") return;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"" << name << "\",\n";
+  out << "  \"provenance\": " << core::provenance_json("  ", extra) << ",\n";
+  out << "  \"columns\": [";
+  const auto& header = table.header();
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    out << (c ? ", " : "") << "\"" << header[c] << "\"";
+  }
+  out << "],\n  \"rows\": [\n";
+  const auto& rows = table.row_data();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << "    [";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (c) out << ", ";
+      if (json_bare_cell(rows[r][c])) {
+        out << rows[r][c];
+      } else {
+        out << "\"" << rows[r][c] << "\"";
+      }
+    }
+    out << "]" << (r + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Standard provenance extras for a sweep harness: seed averaging shape.
+inline std::vector<std::pair<std::string, std::string>> sweep_extras(
+    const BenchOptions& opt, std::uint64_t seed_base = 1) {
+  return {{"seed_base", std::to_string(seed_base)},
+          {"repeats", std::to_string(opt.repeats)},
+          {"quick", opt.quick ? "true" : "false"}};
 }
 
 }  // namespace lrs::bench

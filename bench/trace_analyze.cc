@@ -1,0 +1,259 @@
+// Trace summarizer and schema checker for the JSONL event logs written by
+// --trace= (sim/trace.h; format spec in docs/observability.md).
+//
+//   ./bench/trace_analyze t.jsonl              # human-readable summary
+//   ./bench/trace_analyze --check t.jsonl      # CI schema validation
+//
+// The summary answers the questions end-of-run aggregates cannot: which
+// node finished last and why (per-node latency breakdown), what the serve
+// scheduler actually chose (page popularity histogram, top-k retransmitted
+// packet indices) and how control traffic evolved against data traffic
+// (SNACK/data ratio per time bucket).
+//
+// --check validates every line against the schema the tests pin: it must
+// parse as a known event, re-serialize byte-identically (so the file was
+// produced by, not merely resembles, TraceEvent::to_jsonl) and carry a
+// non-decreasing timestamp. Exit 0 on success, 1 on the first violation.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "util/args.h"
+#include "util/csv.h"
+
+namespace lrs {
+namespace {
+
+using sim::TraceEvent;
+using sim::TraceEventType;
+
+int check(const std::string& path, const std::vector<std::string>& lines) {
+  sim::SimTime prev = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& line = lines[i];
+    if (line.empty()) continue;
+    const auto e = TraceEvent::from_jsonl(line);
+    if (!e) {
+      std::cerr << path << ":" << i + 1 << ": unparseable event: " << line
+                << "\n";
+      return 1;
+    }
+    if (e->to_jsonl() != line) {
+      std::cerr << path << ":" << i + 1
+                << ": not canonical (re-serialization differs):\n  got:  "
+                << line << "\n  want: " << e->to_jsonl() << "\n";
+      return 1;
+    }
+    if (e->time < prev) {
+      std::cerr << path << ":" << i + 1 << ": time " << e->time
+                << " goes backwards (previous event at " << prev << ")\n";
+      return 1;
+    }
+    prev = e->time;
+    ++n;
+  }
+  std::cout << "OK: " << n << " events, schema-valid, time-ordered\n";
+  return 0;
+}
+
+struct NodeStats {
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t reboots = 0;
+  std::uint32_t pages_complete = 0;
+  sim::SimTime first_data_rx = -1;
+  sim::SimTime completion = -1;
+};
+
+void summarize(const std::vector<TraceEvent>& events, std::size_t top_k,
+               sim::SimTime bucket) {
+  if (events.empty()) {
+    std::cout << "empty trace\n";
+    return;
+  }
+  const sim::SimTime end = events.back().time;
+
+  std::map<NodeId, NodeStats> nodes;
+  std::map<std::uint32_t, std::uint64_t> serve_pages;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> serves;
+  // Per bucket: [0] data sends, [1] snack sends, [2] other sends.
+  std::map<sim::SimTime, std::array<std::uint64_t, 3>> buckets;
+
+  for (const auto& e : events) {
+    auto& ns = nodes[e.node];
+    switch (e.type) {
+      case TraceEventType::kSend: {
+        ns.sends += 1;
+        auto& b = buckets[e.time / bucket];
+        const auto cls = static_cast<sim::PacketClass>(e.cls);
+        if (cls == sim::PacketClass::kData) {
+          b[0] += 1;
+        } else if (cls == sim::PacketClass::kSnack) {
+          b[1] += 1;
+        } else {
+          b[2] += 1;
+        }
+        break;
+      }
+      case TraceEventType::kDeliver:
+        ns.receives += 1;
+        break;
+      case TraceEventType::kReboot:
+        ns.reboots += 1;
+        break;
+      case TraceEventType::kAuthFailure:
+        ns.auth_failures += 1;
+        break;
+      case TraceEventType::kPageComplete:
+        ns.pages_complete = std::max(ns.pages_complete, e.b);
+        break;
+      case TraceEventType::kNodeComplete:
+        if (ns.completion < 0) ns.completion = e.time;
+        break;
+      case TraceEventType::kDataServe:
+        serve_pages[e.a] += 1;
+        serves[{e.a, e.b}] += 1;
+        break;
+      case TraceEventType::kDataRx:
+        if (ns.first_data_rx < 0) ns.first_data_rx = e.time;
+        break;
+      case TraceEventType::kStateTransition:
+        break;
+    }
+  }
+
+  std::cout << events.size() << " events over "
+            << sim::to_seconds(end) << " s, " << nodes.size() << " nodes\n";
+
+  {
+    Table t({"node", "sends", "receives", "auth_fail", "reboots", "pages",
+             "first_data_s", "complete_s"});
+    for (const auto& [id, ns] : nodes) {
+      t.add_row({std::to_string(id), std::to_string(ns.sends),
+                 std::to_string(ns.receives),
+                 std::to_string(ns.auth_failures),
+                 std::to_string(ns.reboots),
+                 std::to_string(ns.pages_complete),
+                 ns.first_data_rx < 0
+                     ? "-"
+                     : format_num(sim::to_seconds(ns.first_data_rx), 2),
+                 ns.completion < 0
+                     ? "-"
+                     : format_num(sim::to_seconds(ns.completion), 2)});
+    }
+    std::cout << "\n== per-node latency breakdown ==\n";
+    t.print(std::cout);
+  }
+
+  if (!serve_pages.empty()) {
+    Table t({"page", "serves"});
+    for (const auto& [page, count] : serve_pages) {
+      t.add_row({std::to_string(page), std::to_string(count)});
+    }
+    std::cout << "\n== scheduler popularity (data serves per page) ==\n";
+    t.print(std::cout);
+  }
+
+  if (!serves.empty()) {
+    std::vector<std::pair<std::uint64_t, std::pair<std::uint32_t,
+                                                   std::uint32_t>>> ranked;
+    for (const auto& [pi, count] : serves) ranked.push_back({count, pi});
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    Table t({"page", "index", "times_sent"});
+    for (std::size_t i = 0; i < ranked.size() && i < top_k; ++i) {
+      t.add_row({std::to_string(ranked[i].second.first),
+                 std::to_string(ranked[i].second.second),
+                 std::to_string(ranked[i].first)});
+    }
+    std::cout << "\n== top-" << top_k << " retransmitted packet indices ==\n";
+    t.print(std::cout);
+  }
+
+  if (!buckets.empty()) {
+    Table t({"t_s", "data", "snack", "other", "snack_data_ratio"});
+    for (const auto& [b, counts] : buckets) {
+      const double ratio =
+          counts[0] > 0
+              ? static_cast<double>(counts[1]) /
+                    static_cast<double>(counts[0])
+              : 0.0;
+      t.add_row({format_num(sim::to_seconds(b * bucket), 0),
+                 std::to_string(counts[0]), std::to_string(counts[1]),
+                 std::to_string(counts[2]), format_num(ratio, 3)});
+    }
+    std::cout << "\n== SNACK/data ratio over time (bucket start) ==\n";
+    t.print(std::cout);
+  }
+}
+
+int run(int argc, char** argv) {
+  Args args(argc, argv);
+  // "--check trace.jsonl" parses as check=trace.jsonl (Args treats the
+  // next token as the flag's value), so a non-boolean value doubles as
+  // the positional path.
+  const std::string check_val = args.get("check", "");
+  const bool do_check = !check_val.empty() && check_val != "false";
+  std::string path;
+  if (args.positional().size() == 1) {
+    path = args.positional()[0];
+  } else if (args.positional().empty() && check_val != "true" &&
+             check_val != "false") {
+    path = check_val;
+  }
+  const long top_k = args.get_int("top", 10);
+  const double bucket_s = args.get_double("bucket", 10.0);
+  bool bad = top_k < 1 || bucket_s <= 0 || path.empty();
+  for (const auto& e : args.errors()) {
+    std::cerr << "error: " << e << "\n";
+    bad = true;
+  }
+  for (const auto& u : args.unknown()) {
+    std::cerr << "error: unknown flag " << u << "\n";
+    bad = true;
+  }
+  if (bad) {
+    std::cerr << "usage: " << argv[0]
+              << " [--check] [--top=K] [--bucket=SECONDS] trace.jsonl\n";
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  if (do_check) return check(path, lines);
+
+  std::vector<TraceEvent> events;
+  events.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const auto e = TraceEvent::from_jsonl(lines[i]);
+    if (!e) {
+      std::cerr << path << ":" << i + 1 << ": unparseable event\n";
+      return 1;
+    }
+    events.push_back(*e);
+  }
+  summarize(events, static_cast<std::size_t>(top_k),
+            static_cast<sim::SimTime>(bucket_s * sim::kSecond));
+  return 0;
+}
+
+}  // namespace
+}  // namespace lrs
+
+int main(int argc, char** argv) { return lrs::run(argc, argv); }

@@ -35,7 +35,11 @@ void usage() {
       "  --union-sched   serve with the union scheduler (ablation)\n"
       "  --leap          LEAP-style per-source SNACK authentication\n"
       "  --seeds S       runs to average (default 1), --seed base seed\n"
-      "  --limit SECONDS simulated-time budget (default 3600)\n");
+      "  --limit SECONDS simulated-time budget (default 3600)\n"
+      "  --trace P       structured event trace of the first run: JSONL to\n"
+      "                  P plus a Chrome-trace twin at P's .chrome.json\n"
+      "  --timeseries P  sampled progress counters (JSON) of the first run\n"
+      "  (trace format spec: docs/observability.md)\n");
 }
 
 std::optional<Scheme> parse_scheme(const std::string& s) {
@@ -91,6 +95,17 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.time_limit = args.get_int("limit", 3600) * sim::kSecond;
   const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 1));
+  cfg.trace.events_path = args.get("trace", "");
+  if (!cfg.trace.events_path.empty()) {
+    const std::string& p = cfg.trace.events_path;
+    const auto dot = p.find_last_of('.');
+    cfg.trace.chrome_path =
+        (dot == std::string::npos || p.find('/', dot) != std::string::npos
+             ? p
+             : p.substr(0, dot)) +
+        ".chrome.json";
+  }
+  cfg.trace.timeseries_path = args.get("timeseries", "");
 
   if (!args.errors().empty() || !args.unknown().empty()) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());

@@ -173,7 +173,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       };
       observer->attach(static_cast<NodeId>(i), std::move(probe));
     }
-    simulator.set_observer(observer.get());
+    simulator.add_observer(observer.get());
+  }
+
+  std::unique_ptr<sim::TraceRecorder> tracer;
+  if (config.trace.enabled()) {
+    tracer = std::make_unique<sim::TraceRecorder>();
+    simulator.add_observer(tracer.get());
   }
 
   auto& metrics = simulator.metrics();
@@ -192,6 +198,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.adv_packets = metrics.total_sent(sim::PacketClass::kAdvertisement);
   r.sig_packets = metrics.total_sent(sim::PacketClass::kSignature);
   r.total_bytes = metrics.total_sent_bytes();
+  r.received_bytes = metrics.total_received_bytes();
   r.latency_s = r.all_complete
                     ? sim::to_seconds(metrics.last_completion())
                     : sim::to_seconds(config.time_limit);
@@ -230,6 +237,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (!observer->ok()) {
       r.first_violation = observer->violations().front().to_string();
     }
+  }
+  if (tracer) {
+    sim::export_trace(*tracer, config.trace, node_count);
   }
   return r;
 }

@@ -12,6 +12,7 @@
 #include "sim/channel.h"
 #include "sim/faults.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
 
 namespace lrs::core {
 
@@ -52,6 +53,11 @@ struct ExperimentConfig {
   // follows the scheme's guarantees. Off by default: probing every
   // delivery costs time and the benign harnesses don't need it.
   bool check_invariants = false;
+
+  // Structured event tracing (sim/trace.h). Disabled (no paths set) by
+  // default; when enabled a TraceRecorder rides the observer chain and the
+  // requested exports are written after the run.
+  sim::TraceExportConfig trace{};
 };
 
 struct ExperimentResult {
@@ -65,6 +71,11 @@ struct ExperimentResult {
   std::uint64_t adv_packets = 0;
   std::uint64_t sig_packets = 0;
   std::uint64_t total_bytes = 0;
+  /// Bytes successfully delivered to (and accepted by the radio of) any
+  /// node, summed over all nodes — the broadcast-fanout counterpart of
+  /// total_bytes. received_bytes / total_bytes approximates the mean
+  /// neighborhood size actually reached per transmission.
+  std::uint64_t received_bytes = 0;
   double latency_s = 0.0;
 
   std::uint64_t collisions = 0;

@@ -75,6 +75,7 @@ std::vector<ExperimentResult> run_trials(const ExperimentConfig& config,
   parallel_for(repeats, jobs, [&](std::size_t i) {
     ExperimentConfig c = config;
     c.seed = config.seed + i;
+    c.trace = sim::trace_for_trial(config.trace, 0, i);
     results[i] = run_experiment(c);
   });
   return results;
@@ -85,6 +86,7 @@ ExperimentResult aggregate_trials(std::span<const ExperimentResult> trials) {
   LRS_CHECK(repeats >= 1);
   ExperimentResult avg;
   double data = 0, snack = 0, adv = 0, sig = 0, bytes = 0, latency = 0;
+  double rbytes = 0;
   for (std::size_t i = 0; i < repeats; ++i) {
     const ExperimentResult& r = trials[i];
     avg.receivers = r.receivers;
@@ -97,6 +99,7 @@ ExperimentResult aggregate_trials(std::span<const ExperimentResult> trials) {
     adv += static_cast<double>(r.adv_packets);
     sig += static_cast<double>(r.sig_packets);
     bytes += static_cast<double>(r.total_bytes);
+    rbytes += static_cast<double>(r.received_bytes);
     latency += r.latency_s;
     avg.collisions += r.collisions;
     avg.tx_energy_mj += r.tx_energy_mj / static_cast<double>(repeats);
@@ -123,6 +126,7 @@ ExperimentResult aggregate_trials(std::span<const ExperimentResult> trials) {
   avg.adv_packets = static_cast<std::uint64_t>(adv * inv + 0.5);
   avg.sig_packets = static_cast<std::uint64_t>(sig * inv + 0.5);
   avg.total_bytes = static_cast<std::uint64_t>(bytes * inv + 0.5);
+  avg.received_bytes = static_cast<std::uint64_t>(rbytes * inv + 0.5);
   avg.latency_s = latency * inv;
   return avg;
 }
@@ -140,6 +144,7 @@ std::vector<ExperimentResult> run_experiments_avg(
     const std::size_t ri = t % repeats;
     ExperimentConfig c = configs[ci];
     c.seed = configs[ci].seed + ri;
+    c.trace = sim::trace_for_trial(configs[ci].trace, ci, ri);
     trials[t] = run_experiment(c);
   });
 

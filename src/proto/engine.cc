@@ -25,6 +25,22 @@ SimTime DissemNode::rand_delay(SimTime max) {
       env().rng().uniform(static_cast<std::uint64_t>(max)));
 }
 
+void DissemNode::set_state(NodeState next) {
+  if (next == state_) return;
+  const NodeState prev = state_;
+  state_ = next;
+  if (auto* o = env().observer()) {
+    o->on_state_transition(env().now(), env().id(), static_cast<int>(prev),
+                           static_cast<int>(next));
+  }
+}
+
+void DissemNode::note_auth_failure(sim::PacketClass cls) {
+  if (auto* o = env().observer()) {
+    o->on_auth_failure(env().now(), env().id(), cls);
+  }
+}
+
 void DissemNode::on_start() {
   if (cfg_.is_base_station) {
     if (scheme_->image_complete()) env().notify_complete();
@@ -96,6 +112,7 @@ void DissemNode::on_receive(ByteView frame) {
       auto adv = Advertisement::parse(frame, view(cluster_key_));
       if (!adv) {
         env().metrics().auth_failures += 1;
+        note_auth_failure(sim::PacketClass::kAdvertisement);
         return;
       }
       if (adv->version != scheme_->version()) {
@@ -124,7 +141,10 @@ void DissemNode::on_receive(ByteView frame) {
         snack = Snack::parse(frame, view(cluster_key_));
       }
       if (!snack || snack->version != scheme_->version()) {
-        if (!snack) env().metrics().auth_failures += 1;
+        if (!snack) {
+          env().metrics().auth_failures += 1;
+          note_auth_failure(sim::PacketClass::kSnack);
+        }
         return;
       }
       handle_snack(*snack);
@@ -196,7 +216,7 @@ std::optional<NodeId> DissemNode::pick_server() const {
 }
 
 void DissemNode::enter_rx(NodeId target) {
-  state_ = NodeState::kRx;
+  set_state(NodeState::kRx);
   rx_target_ = target;
   rx_retries_ = 0;
   rx_deadline_ = env().now() + cfg_.timing.max_snack_deferral;
@@ -206,7 +226,7 @@ void DissemNode::enter_rx(NodeId target) {
 void DissemNode::leave_rx() {
   env().cancel(rx_token_);
   rx_token_ = nullptr;
-  state_ = NodeState::kMaintain;
+  set_state(NodeState::kMaintain);
 }
 
 void DissemNode::arm_snack(SimTime delay) {
@@ -340,7 +360,7 @@ void DissemNode::begin_or_merge_tx(const Snack& snack) {
     rx_token_ = nullptr;
     rx_pending_resume_ = true;
   }
-  state_ = NodeState::kTx;
+  set_state(NodeState::kTx);
   env().cancel(tx_token_);
   // Pool concurrent requests briefly so one burst serves them all.
   tx_token_ = env().schedule(cfg_.timing.serve_aggregation +
@@ -386,6 +406,9 @@ void DissemNode::serve_next() {
   LRS_LOG(kDebug) << "node " << env().id() << " serves page " << page
                   << " idx " << d.index << " t=" << env().now();
   if (page == 0) env().metrics().page0_data_sent += 1;
+  if (auto* o = env().observer()) {
+    o->on_data_served(env().now(), env().id(), page, *idx);
+  }
   env().broadcast(sim::PacketClass::kData, d.serialize());
   env().cancel(tx_token_);
   tx_token_ = env().schedule(cfg_.timing.data_gap, [this] { serve_next(); });
@@ -395,7 +418,7 @@ void DissemNode::leave_tx() {
   env().cancel(tx_token_);
   tx_token_ = nullptr;
   tx_sessions_.clear();
-  state_ = NodeState::kMaintain;
+  set_state(NodeState::kMaintain);
   if (rx_pending_resume_ && !scheme_->image_complete()) {
     rx_pending_resume_ = false;
     consider_rx();
@@ -422,6 +445,18 @@ void DissemNode::handle_data(const DataPacket& data) {
   LRS_LOG(kTrace) << "node " << env().id() << " data page " << data.page
                   << " idx " << data.index << " status "
                   << static_cast<int>(status) << " t=" << env().now();
+  if (auto* o = env().observer()) {
+    o->on_data_packet(env().now(), env().id(), data.page, data.index,
+                      static_cast<int>(status));
+    if (status == DataStatus::kRejected) {
+      o->on_auth_failure(env().now(), env().id(), sim::PacketClass::kData);
+    }
+    if (status == DataStatus::kPageComplete ||
+        status == DataStatus::kImageComplete) {
+      o->on_page_complete(env().now(), env().id(), data.page,
+                          scheme_->pages_complete());
+    }
+  }
 
   if (state_ == NodeState::kRx) {
     if (data.page == scheme_->pages_complete() &&
@@ -577,7 +612,7 @@ void DissemNode::reset_protocol_state() {
   env().cancel(sig_token_);
   sig_token_ = nullptr;
   tx_sessions_.clear();
-  state_ = NodeState::kMaintain;
+  set_state(NodeState::kMaintain);
   rx_pending_resume_ = false;
   rx_retries_ = 0;
   sig_request_armed_ = false;

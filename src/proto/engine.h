@@ -96,6 +96,13 @@ class DissemNode : public sim::Node {
 
   sim::SimTime rand_delay(sim::SimTime max);
 
+  /// Moves the MAINTAIN/RX/TX state machine and reports the transition to
+  /// the simulator's observer chain (trace recorders); no-op hook when no
+  /// observer is attached.
+  void set_state(NodeState next);
+  /// Reports a received packet that failed authentication.
+  void note_auth_failure(sim::PacketClass cls);
+
   std::unique_ptr<SchemeState> scheme_;
   EngineConfig cfg_;
   Bytes cluster_key_;

@@ -17,6 +17,14 @@ const char* packet_class_name(PacketClass c) {
   return "?";
 }
 
+std::optional<PacketClass> packet_class_from_name(std::string_view name) {
+  for (std::size_t c = 0; c < kPacketClassCount; ++c) {
+    const auto cls = static_cast<PacketClass>(c);
+    if (name == packet_class_name(cls)) return cls;
+  }
+  return std::nullopt;
+}
+
 void Metrics::record_send(NodeId id, PacketClass c, std::size_t frame_bytes) {
   LRS_CHECK(id < nodes_.size());
   auto& m = nodes_[id];
@@ -24,9 +32,12 @@ void Metrics::record_send(NodeId id, PacketClass c, std::size_t frame_bytes) {
   m.sent_bytes[static_cast<std::size_t>(c)] += frame_bytes;
 }
 
-void Metrics::record_receive(NodeId id, PacketClass c) {
+void Metrics::record_receive(NodeId id, PacketClass c,
+                             std::size_t frame_bytes) {
   LRS_CHECK(id < nodes_.size());
-  nodes_[id].received[static_cast<std::size_t>(c)] += 1;
+  auto& m = nodes_[id];
+  m.received[static_cast<std::size_t>(c)] += 1;
+  m.received_bytes[static_cast<std::size_t>(c)] += frame_bytes;
 }
 
 std::uint64_t Metrics::total_sent(PacketClass c) const {
@@ -46,6 +57,27 @@ std::uint64_t Metrics::total_sent_bytes(PacketClass c) const {
   std::uint64_t total = 0;
   for (const auto& m : nodes_)
     total += m.sent_bytes[static_cast<std::size_t>(c)];
+  return total;
+}
+
+std::uint64_t Metrics::total_received(PacketClass c) const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_)
+    total += m.received[static_cast<std::size_t>(c)];
+  return total;
+}
+
+std::uint64_t Metrics::total_received_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_)
+    for (auto b : m.received_bytes) total += b;
+  return total;
+}
+
+std::uint64_t Metrics::total_received_bytes(PacketClass c) const {
+  std::uint64_t total = 0;
+  for (const auto& m : nodes_)
+    total += m.received_bytes[static_cast<std::size_t>(c)];
   return total;
 }
 

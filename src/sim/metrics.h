@@ -9,7 +9,9 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.h"
@@ -26,6 +28,8 @@ enum class PacketClass : std::uint8_t {
 };
 
 const char* packet_class_name(PacketClass c);
+/// Inverse of packet_class_name; nullopt for unknown names (and "?").
+std::optional<PacketClass> packet_class_from_name(std::string_view name);
 
 inline constexpr std::size_t kPacketClassCount =
     static_cast<std::size_t>(PacketClass::kCount);
@@ -34,6 +38,7 @@ struct NodeMetrics {
   std::array<std::uint64_t, kPacketClassCount> sent{};
   std::array<std::uint64_t, kPacketClassCount> sent_bytes{};
   std::array<std::uint64_t, kPacketClassCount> received{};
+  std::array<std::uint64_t, kPacketClassCount> received_bytes{};
 
   std::uint64_t hash_verifications = 0;
   std::uint64_t signature_verifications = 0;
@@ -66,12 +71,15 @@ class Metrics {
   std::size_t node_count() const { return nodes_.size(); }
 
   void record_send(NodeId id, PacketClass c, std::size_t frame_bytes);
-  void record_receive(NodeId id, PacketClass c);
+  void record_receive(NodeId id, PacketClass c, std::size_t frame_bytes);
 
   /// Network-wide totals.
   std::uint64_t total_sent(PacketClass c) const;
   std::uint64_t total_sent_bytes() const;
   std::uint64_t total_sent_bytes(PacketClass c) const;
+  std::uint64_t total_received(PacketClass c) const;
+  std::uint64_t total_received_bytes() const;
+  std::uint64_t total_received_bytes(PacketClass c) const;
   std::uint64_t total_auth_failures() const;
   std::uint64_t total_hash_verifications() const;
   std::uint64_t total_signature_verifications() const;

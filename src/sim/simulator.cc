@@ -39,6 +39,7 @@ class Simulator::SimEnv final : public Env {
 
   SimTime now() const override { return sim_->queue_.now(); }
   NodeId id() const override { return id_; }
+  SimObserver* observer() const override { return sim_->observer_; }
 
   void broadcast(PacketClass cls, Bytes frame) override {
     sim_->enqueue_frame(id_, cls, std::move(frame));
@@ -61,7 +62,10 @@ class Simulator::SimEnv final : public Env {
 
   void notify_complete() override {
     auto& m = sim_->metrics_->node(id_);
-    if (m.completion_time < 0) m.completion_time = now();
+    if (m.completion_time < 0) {
+      m.completion_time = now();
+      if (sim_->observer_) sim_->observer_->on_node_complete(now(), id_);
+    }
   }
 
  private:
@@ -86,6 +90,13 @@ Simulator::~Simulator() = default;
 void Simulator::set_fault_model(std::unique_ptr<FaultModel> fault) {
   LRS_CHECK_MSG(!started_, "fault model must be installed before run()");
   fault_ = std::move(fault);
+}
+
+void Simulator::add_observer(SimObserver* observer) {
+  if (observer == nullptr) return;
+  fanout_.add(observer);
+  // One observer dispatches directly; two or more go through the fan-out.
+  observer_ = fanout_.sole() != nullptr ? fanout_.sole() : &fanout_;
 }
 
 Env& Simulator::make_env() {
@@ -327,7 +338,7 @@ void Simulator::deliver(NodeId sender, NodeId receiver, PacketClass cls,
 
 void Simulator::deliver_now(NodeId sender, NodeId receiver, PacketClass cls,
                             const Bytes& frame, bool tampered) {
-  metrics_->record_receive(receiver, cls);
+  metrics_->record_receive(receiver, cls, frame.size());
   if (observer_) {
     observer_->before_deliver(queue_.now(), sender, receiver, cls,
                               view(frame), tampered);

@@ -45,6 +45,7 @@ struct RadioParams {
 };
 
 class Simulator;
+class SimObserver;
 
 /// What a protocol node sees of the world. Implemented by the simulator and
 /// by test doubles.
@@ -54,6 +55,11 @@ class Env {
 
   virtual SimTime now() const = 0;
   virtual NodeId id() const = 0;
+  /// The simulator's observer chain, or nullptr when nothing is attached —
+  /// the null-recorder fast path. Protocol engines use this to report
+  /// state transitions and progress to tracers without paying anything
+  /// (one branch) in untraced runs.
+  virtual SimObserver* observer() const { return nullptr; }
   /// Local broadcast to all radio neighbors (queued behind CSMA).
   virtual void broadcast(PacketClass cls, Bytes frame) = 0;
   /// One-shot timer; the token cancels it.
@@ -129,6 +135,112 @@ class SimObserver {
     (void)now;
     (void)node;
   }
+
+  // Protocol-level hooks, reported by the dissemination engine through
+  // Env::observer() (the simulator fans them out to every attached
+  // observer). `from`/`to`/`status` use the proto enums' integer values so
+  // sim/ need not depend on proto/.
+
+  /// Engine state machine moved between MAINTAIN / RX / TX.
+  virtual void on_state_transition(SimTime now, NodeId node, int from,
+                                   int to) {
+    (void)now;
+    (void)node;
+    (void)from;
+    (void)to;
+  }
+  /// A page decoded and verified; `pages_complete` is the new frontier.
+  virtual void on_page_complete(SimTime now, NodeId node, std::uint32_t page,
+                                std::uint32_t pages_complete) {
+    (void)now;
+    (void)node;
+    (void)page;
+    (void)pages_complete;
+  }
+  /// The node holds the complete verified image (fires once per node).
+  virtual void on_node_complete(SimTime now, NodeId node) {
+    (void)now;
+    (void)node;
+  }
+  /// A received packet failed authentication (MAC, hash or signature).
+  virtual void on_auth_failure(SimTime now, NodeId node, PacketClass cls) {
+    (void)now;
+    (void)node;
+    (void)cls;
+  }
+  /// The serve loop chose data packet (page, index) for transmission.
+  virtual void on_data_served(SimTime now, NodeId node, std::uint32_t page,
+                              std::uint32_t index) {
+    (void)now;
+    (void)node;
+    (void)page;
+    (void)index;
+  }
+  /// A data packet was fed to the scheme; `status` is proto::DataStatus.
+  virtual void on_data_packet(SimTime now, NodeId node, std::uint32_t page,
+                              std::uint32_t index, int status) {
+    (void)now;
+    (void)node;
+    (void)page;
+    (void)index;
+    (void)status;
+  }
+};
+
+/// Fans every SimObserver callback out to a list of observers, in
+/// attachment order. The simulator keeps one internally so invariant
+/// checkers and trace recorders can watch the same run.
+class ObserverFanout final : public SimObserver {
+ public:
+  void add(SimObserver* o) {
+    if (o != nullptr) list_.push_back(o);
+  }
+  std::size_t size() const { return list_.size(); }
+  SimObserver* sole() const { return list_.size() == 1 ? list_[0] : nullptr; }
+
+  void on_send(SimTime now, NodeId sender, PacketClass cls,
+               ByteView frame) override {
+    for (auto* o : list_) o->on_send(now, sender, cls, frame);
+  }
+  void before_deliver(SimTime now, NodeId from, NodeId to, PacketClass cls,
+                      ByteView frame, bool tampered) override {
+    for (auto* o : list_) o->before_deliver(now, from, to, cls, frame,
+                                            tampered);
+  }
+  void after_deliver(SimTime now, NodeId from, NodeId to, PacketClass cls,
+                     ByteView frame, bool tampered) override {
+    for (auto* o : list_) o->after_deliver(now, from, to, cls, frame,
+                                           tampered);
+  }
+  void on_reboot(SimTime now, NodeId node) override {
+    for (auto* o : list_) o->on_reboot(now, node);
+  }
+  void on_state_transition(SimTime now, NodeId node, int from,
+                           int to) override {
+    for (auto* o : list_) o->on_state_transition(now, node, from, to);
+  }
+  void on_page_complete(SimTime now, NodeId node, std::uint32_t page,
+                        std::uint32_t pages_complete) override {
+    for (auto* o : list_) o->on_page_complete(now, node, page,
+                                              pages_complete);
+  }
+  void on_node_complete(SimTime now, NodeId node) override {
+    for (auto* o : list_) o->on_node_complete(now, node);
+  }
+  void on_auth_failure(SimTime now, NodeId node, PacketClass cls) override {
+    for (auto* o : list_) o->on_auth_failure(now, node, cls);
+  }
+  void on_data_served(SimTime now, NodeId node, std::uint32_t page,
+                      std::uint32_t index) override {
+    for (auto* o : list_) o->on_data_served(now, node, page, index);
+  }
+  void on_data_packet(SimTime now, NodeId node, std::uint32_t page,
+                      std::uint32_t index, int status) override {
+    for (auto* o : list_) o->on_data_packet(now, node, page, index, status);
+  }
+
+ private:
+  std::vector<SimObserver*> list_;
 };
 
 class Simulator {
@@ -143,8 +255,15 @@ class Simulator {
   /// before this hook existed, so historical seeds replay unchanged.
   void set_fault_model(std::unique_ptr<FaultModel> fault);
 
-  /// Attaches a passive observer (not owned; may be nullptr to detach).
-  void set_observer(SimObserver* observer) { observer_ = observer; }
+  /// Attaches a passive observer (not owned; nullptr is ignored). Multiple
+  /// observers — e.g. an invariant checker plus a trace recorder — see
+  /// every callback in attachment order. With none attached, observer()
+  /// stays nullptr and the hot paths pay one branch (no fan-out object).
+  void add_observer(SimObserver* observer);
+
+  /// The active observer chain, or nullptr when none is attached: a single
+  /// observer is exposed directly, several through an internal fan-out.
+  SimObserver* observer() const { return observer_; }
 
   /// Creates a node of type T whose constructor receives (Env&, args...).
   /// Nodes must be added in NodeId order 0..topology.size()-1 before run().
@@ -208,6 +327,7 @@ class Simulator {
   Rng rng_;
   EventQueue queue_;
   std::unique_ptr<Metrics> metrics_;
+  ObserverFanout fanout_;
   SimObserver* observer_ = nullptr;
 
   std::vector<std::unique_ptr<SimEnv>> envs_;

@@ -25,6 +25,10 @@ class Table {
   void print_csv(std::ostream& os) const;
 
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;
