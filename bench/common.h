@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "core/experiment.h"
 #include "core/provenance.h"
 #include "core/run_trials.h"
+#include "sim/scenario/scenario.h"
 #include "util/args.h"
 #include "util/csv.h"
 
@@ -32,6 +34,11 @@ namespace lrs::bench {
 ///                  to P (JSON)
 ///   --trace-all    trace every (config, trial) cell of the sweep to
 ///                  derived ".cN.tM" paths instead of only the first
+///   --scenario=F   replace every sweep point's deployment environment
+///                  (topology, channel, fault plan and node schedules) with
+///                  the one declared in scenario file F (scenarios/*.scn,
+///                  docs/scenarios.md) — the harness keeps sweeping its own
+///                  scheme/parameter axis on the scenario's network
 struct BenchOptions {
   std::size_t repeats = 3;
   std::size_t jobs = 0;  // 0 = core::default_jobs()
@@ -39,6 +46,7 @@ struct BenchOptions {
   std::string trace;       // JSONL event-log path; empty = no trace
   std::string timeseries;  // progress time-series path; empty = none
   bool trace_all = false;
+  std::string scenario;    // .scn file overriding the deployment; empty = none
 };
 
 /// "t.jsonl" -> "t.chrome.json" (tag appended when there is no extension).
@@ -76,6 +84,7 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   opt.trace = args.get("trace", "");
   opt.timeseries = args.get("timeseries", "");
   opt.trace_all = args.get_bool("trace-all", false);
+  opt.scenario = args.get("scenario", "");
   bool bad = repeats < 1 || jobs < 0;
   if (opt.trace_all && opt.trace.empty() && opt.timeseries.empty()) {
     std::cerr << "error: --trace-all needs --trace and/or --timeseries\n";
@@ -92,7 +101,8 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   if (bad) {
     std::cerr << "usage: " << argv[0]
               << " [--repeats=R] [--jobs=J] [--quick] [--trace=T.jsonl]"
-                 " [--timeseries=TS.json] [--trace-all]\n";
+                 " [--timeseries=TS.json] [--trace-all]"
+                 " [--scenario=F.scn]\n";
     std::exit(2);
   }
   opt.repeats = static_cast<std::size_t>(repeats);
@@ -100,12 +110,46 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   return opt;
 }
 
+/// Transplants the scenario's deployment environment — topology spec,
+/// channel/loss model, fault plan and node schedules — into `config`,
+/// leaving the harness's scheme, coding geometry and timing untouched.
+inline void apply_scenario_environment(core::ExperimentConfig& config,
+                                       const scenario::Scenario& s) {
+  const core::ExperimentConfig env = scenario::scenario_config(s);
+  config.topo = env.topo;
+  config.topo_spec = env.topo_spec;
+  config.link = env.link;
+  config.loss_p = env.loss_p;
+  config.gilbert_elliott = env.gilbert_elliott;
+  config.ge = env.ge;
+  config.per_node_loss = env.per_node_loss;
+  config.faults = env.faults;
+}
+
+/// Loads opt.scenario (when set) or exits with the parse error — harness
+/// startup, where a bad file should fail fast with the offending line.
+inline std::optional<scenario::Scenario> load_bench_scenario(
+    const BenchOptions& opt) {
+  if (opt.scenario.empty()) return std::nullopt;
+  std::string error;
+  auto s = scenario::load_scenario_file(opt.scenario, &error);
+  if (!s) {
+    std::cerr << "error: " << error << "\n";
+    std::exit(2);
+  }
+  return s;
+}
+
 /// Runs every config in the sweep through the parallel trial runner;
 /// result i averages opt.repeats seeds of configs[i]. Trace flags apply to
 /// the whole sweep: cell (config 0, trial 0) writes the exact requested
 /// paths, other cells only under --trace-all (see sim::trace_for_trial).
+/// Under --scenario=F.scn every sweep point runs on F's deployment.
 inline std::vector<core::ExperimentResult> run_sweep(
     std::vector<core::ExperimentConfig> configs, const BenchOptions& opt) {
+  if (const auto s = load_bench_scenario(opt)) {
+    for (auto& c : configs) apply_scenario_environment(c, *s);
+  }
   const sim::TraceExportConfig trace = trace_config(opt);
   for (auto& c : configs) c.trace = trace;
   return core::run_experiments_avg(configs, opt.repeats, opt.jobs);

@@ -29,6 +29,14 @@ const char* scheme_name(Scheme s) {
   return "?";
 }
 
+std::optional<Scheme> scheme_from_name(const std::string& name) {
+  for (Scheme s : {Scheme::kDeluge, Scheme::kRatelessDeluge, Scheme::kSluice,
+                   Scheme::kSeluge, Scheme::kLrSeluge}) {
+    if (name == scheme_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
 Bytes make_test_image(std::size_t size, std::uint64_t seed) {
   Rng rng(seed ^ 0xabcdef1234ULL);
   Bytes image(size);
@@ -46,16 +54,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // One-hop cells are error-free at the link layer (paper §VI-A): the
   // only losses are the application-layer drops of the loss model.
-  sim::Topology topology =
-      config.topo == ExperimentConfig::Topo::kStar
-          ? sim::Topology::star(config.receivers)
-          : sim::Topology::grid(config.grid_rows, config.grid_cols,
-                                config.grid_spacing, config.link);
+  sim::Topology topology = [&config] {
+    switch (config.topo) {
+      case ExperimentConfig::Topo::kStar:
+        return sim::Topology::star(config.receivers);
+      case ExperimentConfig::Topo::kGrid:
+        return sim::Topology::grid(config.grid_rows, config.grid_cols,
+                                   config.grid_spacing, config.link);
+      case ExperimentConfig::Topo::kSpec:
+        return sim::build_topology(config.topo_spec);
+    }
+    LRS_CHECK_MSG(false, "unknown topology selector");
+  }();
   const std::size_t node_count = topology.size();
   const std::size_t receiver_count = node_count - 1;
 
   std::unique_ptr<sim::LossModel> loss;
-  if (config.gilbert_elliott) {
+  if (!config.per_node_loss.empty()) {
+    loss = sim::make_per_node_loss(config.per_node_loss, node_count);
+  } else if (config.gilbert_elliott) {
     loss = sim::make_gilbert_elliott(config.ge, node_count,
                                      config.seed ^ 0x6e01);
   } else if (config.loss_p > 0.0) {

@@ -6,11 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "proto/params.h"
 #include "sim/channel.h"
 #include "sim/faults.h"
+#include "sim/scenario/generators.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -19,6 +22,8 @@ namespace lrs::core {
 enum class Scheme { kDeluge, kRatelessDeluge, kSluice, kSeluge, kLrSeluge };
 
 const char* scheme_name(Scheme s);
+/// Inverse of scheme_name ("lr-seluge" -> kLrSeluge); nullopt on unknown.
+std::optional<Scheme> scheme_from_name(const std::string& name);
 
 struct ExperimentConfig {
   Scheme scheme = Scheme::kLrSeluge;
@@ -29,19 +34,26 @@ struct ExperimentConfig {
   std::size_t image_size = 20 * 1024;  // the paper's 20 KB image
   std::uint64_t seed = 1;
 
-  // Topology: a one-hop star of `receivers`, or a rows x cols grid.
-  enum class Topo { kStar, kGrid } topo = Topo::kStar;
+  // Topology: a one-hop star of `receivers`, a rows x cols grid, or —
+  // kSpec — any generator the scenario subsystem supports (random
+  // geometric, clustered, corridor, ring, plus star/grid with per-link
+  // PRR jitter); see sim/scenario/generators.h.
+  enum class Topo { kStar, kGrid, kSpec } topo = Topo::kStar;
   std::size_t receivers = 20;
   std::size_t grid_rows = 15;
   std::size_t grid_cols = 15;
   double grid_spacing = 10.0;
   sim::LinkModel link{};
+  sim::TopologySpec topo_spec{};  // used when topo == Topo::kSpec
 
   // Channel: uniform app-layer loss p (paper §VI-A), optionally replaced
-  // by Gilbert-Elliott burst noise (multi-hop tables).
+  // by Gilbert-Elliott burst noise (multi-hop tables) or, when non-empty,
+  // a heterogeneous per-node loss vector (p[i] applies to receptions at
+  // node i; length must cover the node count).
   double loss_p = 0.0;
   bool gilbert_elliott = false;
   sim::GilbertElliottParams ge{};
+  std::vector<double> per_node_loss;
 
   sim::RadioParams radio{};
   sim::SimTime time_limit = 4LL * 3600 * sim::kSecond;

@@ -26,9 +26,19 @@ class UniformLoss final : public LossModel {
 
 class PerNodeLoss final : public LossModel {
  public:
-  explicit PerNodeLoss(std::vector<double> p) : p_(std::move(p)) {}
+  explicit PerNodeLoss(std::vector<double> p) : p_(std::move(p)) {
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+      LRS_CHECK_MSG(p_[i] >= 0.0 && p_[i] <= 1.0,
+                    "per-node loss probability p[" + std::to_string(i) +
+                        "] = " + std::to_string(p_[i]) +
+                        " outside [0, 1]");
+    }
+  }
   bool delivered(NodeId, NodeId to, SimTime, Rng& rng) override {
-    LRS_CHECK(to < p_.size());
+    LRS_CHECK_MSG(to < p_.size(),
+                  "per-node loss vector has " + std::to_string(p_.size()) +
+                      " entries but node " + std::to_string(to) +
+                      " received a frame — vector shorter than the network");
     return !rng.bernoulli(p_[to]);
   }
 
@@ -41,7 +51,7 @@ class GilbertElliott final : public LossModel {
   GilbertElliott(GilbertElliottParams params, std::size_t node_count,
                  std::uint64_t seed)
       : params_(params), rng_(seed) {
-    LRS_CHECK(params.mean_good_dwell > 0 && params.mean_bad_dwell > 0);
+    params.validate();
     states_.reserve(node_count);
     for (std::size_t i = 0; i < node_count; ++i) {
       // Stagger initial phases so nodes do not fade in lockstep.
@@ -100,6 +110,26 @@ std::unique_ptr<LossModel> make_uniform_loss(double p) {
 
 std::unique_ptr<LossModel> make_per_node_loss(std::vector<double> p) {
   return std::make_unique<PerNodeLoss>(std::move(p));
+}
+
+std::unique_ptr<LossModel> make_per_node_loss(std::vector<double> p,
+                                              std::size_t node_count) {
+  LRS_CHECK_MSG(p.size() >= node_count,
+                "per-node loss vector has " + std::to_string(p.size()) +
+                    " entries for a " + std::to_string(node_count) +
+                    "-node network");
+  return std::make_unique<PerNodeLoss>(std::move(p));
+}
+
+void GilbertElliottParams::validate() const {
+  LRS_CHECK_MSG(p_good >= 0.0 && p_good <= 1.0,
+                "Gilbert-Elliott p_good outside [0, 1]");
+  LRS_CHECK_MSG(p_bad >= 0.0 && p_bad <= 1.0,
+                "Gilbert-Elliott p_bad outside [0, 1]");
+  LRS_CHECK_MSG(mean_good_dwell > 0,
+                "Gilbert-Elliott mean_good_dwell must be positive");
+  LRS_CHECK_MSG(mean_bad_dwell > 0,
+                "Gilbert-Elliott mean_bad_dwell must be positive");
 }
 
 std::unique_ptr<LossModel> make_gilbert_elliott(GilbertElliottParams params,

@@ -34,8 +34,13 @@ std::unique_ptr<LossModel> make_perfect_channel();
 std::unique_ptr<LossModel> make_uniform_loss(double p);
 
 /// Per-receiver loss probabilities (heterogeneous p_i, as in the analysis of
-/// §V-A); `p[i]` applies to receptions at node i.
+/// §V-A); `p[i]` applies to receptions at node i. Every probability must be
+/// in [0, 1] (checked at construction), and receptions at a node beyond the
+/// vector fail loudly instead of indexing past the end — pass `node_count`
+/// to reject a short vector up front.
 std::unique_ptr<LossModel> make_per_node_loss(std::vector<double> p);
+std::unique_ptr<LossModel> make_per_node_loss(std::vector<double> p,
+                                              std::size_t node_count);
 
 /// Gilbert-Elliott burst noise: each receiver flips between a good state
 /// (drop probability p_good) and a bad state (p_bad), with dwell times
@@ -46,6 +51,11 @@ struct GilbertElliottParams {
   double p_bad = 0.6;
   SimTime mean_good_dwell = 800 * kMillisecond;
   SimTime mean_bad_dwell = 200 * kMillisecond;
+
+  /// Throws (LRS_CHECK) unless both drop probabilities are in [0, 1] and
+  /// both mean dwell times are positive — a zero or negative mean would
+  /// otherwise silently degenerate the exponential dwell draws.
+  void validate() const;
 };
 std::unique_ptr<LossModel> make_gilbert_elliott(GilbertElliottParams params,
                                                 std::size_t node_count,

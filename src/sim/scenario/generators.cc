@@ -1,0 +1,164 @@
+#include "sim/scenario/generators.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lrs::sim {
+
+namespace {
+
+constexpr std::size_t kMaxPlacementAttempts = 256;
+
+std::vector<Position> sample_geometric(std::size_t nodes, double width,
+                                       double height, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Position> pos;
+  pos.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    pos.push_back({rng.uniform_real(0.0, width), rng.uniform_real(0.0, height)});
+  }
+  return pos;
+}
+
+std::vector<Position> sample_clustered(const TopologySpec& spec,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  // Hotspot centers, inset so clusters stay inside the area.
+  const double inset_w = std::min(spec.cluster_radius, spec.width / 2.0);
+  const double inset_h = std::min(spec.cluster_radius, spec.height / 2.0);
+  std::vector<Position> centers;
+  centers.reserve(spec.clusters);
+  for (std::size_t c = 0; c < spec.clusters; ++c) {
+    centers.push_back({rng.uniform_real(inset_w, spec.width - inset_w),
+                       rng.uniform_real(inset_h, spec.height - inset_h)});
+  }
+  std::vector<Position> pos;
+  pos.reserve(spec.nodes);
+  // Node 0 (base station) sits on the first hotspot's center; the rest
+  // scatter round-robin across clusters, uniform in each hotspot disc.
+  pos.push_back(centers[0]);
+  for (std::size_t i = 1; i < spec.nodes; ++i) {
+    const Position& c = centers[i % spec.clusters];
+    const double angle = rng.uniform_real(0.0, 2.0 * M_PI);
+    const double r = spec.cluster_radius * std::sqrt(rng.uniform01());
+    pos.push_back({c.x + r * std::cos(angle), c.y + r * std::sin(angle)});
+  }
+  return pos;
+}
+
+/// Rejection loop shared by the stochastic generators: re-sample with a
+/// derived seed until the placement is radio-connected.
+template <typename SampleFn>
+Topology connected_placement(const TopologySpec& spec, SampleFn sample) {
+  for (std::size_t attempt = 0; attempt < kMaxPlacementAttempts; ++attempt) {
+    Topology t =
+        Topology::custom(sample(spec.seed + attempt * 0x9e3779b97f4a7c15ULL),
+                         spec.link);
+    if (t.connected()) return t;
+  }
+  LRS_CHECK_MSG(false,
+                std::string(topology_kind_name(spec.kind)) +
+                    " placement not connected after " +
+                    std::to_string(kMaxPlacementAttempts) +
+                    " attempts — densify (more nodes, smaller area, larger "
+                    "radio range) or change the seed");
+}
+
+}  // namespace
+
+const char* topology_kind_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kRandomGeometric: return "geometric";
+    case TopologyKind::kClustered: return "clustered";
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kRing: return "ring";
+  }
+  return "?";
+}
+
+bool topology_kind_from_name(const std::string& name, TopologyKind* out) {
+  for (TopologyKind k :
+       {TopologyKind::kStar, TopologyKind::kGrid, TopologyKind::kRandomGeometric,
+        TopologyKind::kClustered, TopologyKind::kLine, TopologyKind::kRing}) {
+    if (name == topology_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t TopologySpec::node_count() const {
+  switch (kind) {
+    case TopologyKind::kStar: return receivers + 1;
+    case TopologyKind::kGrid: return rows * cols;
+    case TopologyKind::kRandomGeometric:
+    case TopologyKind::kClustered:
+    case TopologyKind::kLine:
+    case TopologyKind::kRing: return nodes;
+  }
+  return 0;
+}
+
+Topology build_topology(const TopologySpec& spec) {
+  LRS_CHECK_MSG(spec.node_count() >= 2, "topology needs at least two nodes");
+  Topology t = [&spec] {
+    switch (spec.kind) {
+      case TopologyKind::kStar:
+        return Topology::star(spec.receivers, spec.link);
+      case TopologyKind::kGrid:
+        LRS_CHECK_MSG(spec.spacing > 0.0, "grid spacing must be positive");
+        return Topology::grid(spec.rows, spec.cols, spec.spacing, spec.link);
+      case TopologyKind::kRandomGeometric:
+        LRS_CHECK_MSG(spec.width > 0.0 && spec.height > 0.0,
+                      "geometric area must be positive");
+        return connected_placement(spec, [&spec](std::uint64_t seed) {
+          return sample_geometric(spec.nodes, spec.width, spec.height, seed);
+        });
+      case TopologyKind::kClustered:
+        LRS_CHECK_MSG(spec.clusters >= 1, "need at least one cluster");
+        LRS_CHECK_MSG(spec.width > 0.0 && spec.height > 0.0,
+                      "clustered area must be positive");
+        LRS_CHECK_MSG(spec.cluster_radius > 0.0,
+                      "cluster radius must be positive");
+        return connected_placement(spec, [&spec](std::uint64_t seed) {
+          return sample_clustered(spec, seed);
+        });
+      case TopologyKind::kLine: {
+        LRS_CHECK_MSG(spec.spacing > 0.0, "line spacing must be positive");
+        std::vector<Position> pos;
+        pos.reserve(spec.nodes);
+        for (std::size_t i = 0; i < spec.nodes; ++i) {
+          pos.push_back({static_cast<double>(i) * spec.spacing, 0.0});
+        }
+        return Topology::custom(std::move(pos), spec.link);
+      }
+      case TopologyKind::kRing: {
+        LRS_CHECK_MSG(spec.radius > 0.0, "ring radius must be positive");
+        std::vector<Position> pos;
+        pos.reserve(spec.nodes);
+        for (std::size_t i = 0; i < spec.nodes; ++i) {
+          const double angle = 2.0 * M_PI * static_cast<double>(i) /
+                               static_cast<double>(spec.nodes);
+          pos.push_back(
+              {spec.radius * std::cos(angle), spec.radius * std::sin(angle)});
+        }
+        return Topology::custom(std::move(pos), spec.link);
+      }
+    }
+    LRS_CHECK_MSG(false, "unknown topology kind");
+  }();
+  if (spec.prr_jitter > 0.0) {
+    t.set_prr_jitter(spec.prr_jitter,
+                     spec.jitter_seed != 0 ? spec.jitter_seed
+                                           : spec.seed ^ 0x6a177e5ULL);
+  }
+  return t;
+}
+
+}  // namespace lrs::sim

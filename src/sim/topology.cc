@@ -1,10 +1,23 @@
 #include "sim/topology.h"
 
 #include <cmath>
+#include <deque>
 
 #include "util/check.h"
 
 namespace lrs::sim {
+
+namespace {
+
+/// splitmix64 finalizer — cheap stateless hash for the per-link jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 double LinkModel::prr(double distance) const {
   if (distance <= connected_radius) return max_prr;
@@ -61,6 +74,12 @@ Topology Topology::grid(std::size_t rows, std::size_t cols, double spacing,
   return Topology(std::move(pos), link);
 }
 
+Topology Topology::custom(std::vector<Position> positions,
+                          const LinkModel& link) {
+  LRS_CHECK_MSG(!positions.empty(), "topology needs at least one node");
+  return Topology(std::move(positions), link);
+}
+
 double Topology::distance(NodeId a, NodeId b) const {
   const auto& pa = positions_[a];
   const auto& pb = positions_[b];
@@ -68,7 +87,42 @@ double Topology::distance(NodeId a, NodeId b) const {
 }
 
 double Topology::prr(NodeId a, NodeId b) const {
-  return link_.prr(distance(a, b));
+  const double base = link_.prr(distance(a, b));
+  if (jitter_magnitude_ == 0.0 || base == 0.0) return base;
+  // Deterministic per-directed-link factor in [1 - magnitude, 1].
+  const std::uint64_t h =
+      mix64(jitter_seed_ ^ mix64((static_cast<std::uint64_t>(a) << 32) |
+                                 static_cast<std::uint64_t>(b)));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  return base * (1.0 - jitter_magnitude_ * u);
+}
+
+void Topology::set_prr_jitter(double magnitude, std::uint64_t seed) {
+  LRS_CHECK_MSG(magnitude >= 0.0 && magnitude < 1.0,
+                "prr jitter magnitude must be in [0, 1)");
+  jitter_magnitude_ = magnitude;
+  jitter_seed_ = seed;
+}
+
+bool Topology::connected() const {
+  if (positions_.empty()) return true;
+  std::vector<bool> seen(positions_.size(), false);
+  std::deque<NodeId> frontier{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId at = frontier.front();
+    frontier.pop_front();
+    for (const NodeId next : neighbors_[at]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        ++reached;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return reached == positions_.size();
 }
 
 double Topology::mean_degree() const {

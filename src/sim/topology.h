@@ -8,9 +8,15 @@
 // perfect reception inside a connected radius, a transitional gray region
 // with steeply falling PRR, and silence beyond the outer radius — the
 // standard shape measured for mica2-class radios.
+//
+// Arbitrary placements (random geometric, clustered, corridor, ring — see
+// sim/scenario/generators.h) enter through Topology::custom; per-link PRR
+// jitter models the link-quality heterogeneity real deployments measure
+// between geometrically identical links.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/types.h"
@@ -51,6 +57,10 @@ class Topology {
   static Topology grid(std::size_t rows, std::size_t cols, double spacing,
                        const LinkModel& link = LinkModel{});
 
+  /// Arbitrary placement (scenario generators): node 0 is the base station.
+  static Topology custom(std::vector<Position> positions,
+                         const LinkModel& link = LinkModel{});
+
   std::size_t size() const { return positions_.size(); }
   const Position& position(NodeId id) const { return positions_[id]; }
   const LinkModel& link_model() const { return link_; }
@@ -68,12 +78,26 @@ class Topology {
   /// Mean neighbor count — densitometry for reporting.
   double mean_degree() const;
 
+  /// True when every node is radio-reachable from node 0 (BFS over the
+  /// neighbor lists). Generators reject disconnected placements.
+  bool connected() const;
+
+  /// Per-link heterogeneity: scales each directed link's PRR by a
+  /// deterministic factor in [1 - magnitude, 1], drawn from a hash of
+  /// (from, to, seed). magnitude must be in [0, 1) so no link's PRR
+  /// reaches zero — neighbor sets (computed from the base curve) stay
+  /// valid. magnitude == 0 restores the pure distance curve.
+  void set_prr_jitter(double magnitude, std::uint64_t seed);
+  double prr_jitter() const { return jitter_magnitude_; }
+
  private:
   Topology(std::vector<Position> positions, const LinkModel& link);
 
   std::vector<Position> positions_;
   LinkModel link_;
   std::vector<std::vector<NodeId>> neighbors_;
+  double jitter_magnitude_ = 0.0;
+  std::uint64_t jitter_seed_ = 0;
 };
 
 }  // namespace lrs::sim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/channel.h"
@@ -207,6 +208,39 @@ TEST(ChannelTest, PerNodeLossIsPerReceiver) {
   }
   EXPECT_EQ(d0, 20000);
   EXPECT_NEAR(d1 / 20000.0, 0.1, 0.02);
+}
+
+TEST(ChannelTest, PerNodeLossRejectsOutOfRangeProbability) {
+  EXPECT_THROW(make_per_node_loss({0.5, 1.2}), std::logic_error);
+  EXPECT_THROW(make_per_node_loss({-0.1}), std::logic_error);
+}
+
+TEST(ChannelTest, PerNodeLossShortVectorFailsLoudly) {
+  // A reception at a node past the end of the vector must throw with a
+  // clear message, not index out of bounds.
+  auto model = make_per_node_loss({0.0, 0.1});
+  Rng rng(3);
+  EXPECT_THROW(model->delivered(0, 2, 0, rng), std::logic_error);
+  // The node-count overload rejects the short vector up front.
+  EXPECT_THROW(make_per_node_loss({0.0, 0.1}, 4), std::logic_error);
+  EXPECT_NO_THROW(make_per_node_loss({0.0, 0.1, 0.2}, 3));
+}
+
+TEST(ChannelTest, GilbertElliottValidatesParams) {
+  GilbertElliottParams zero_dwell;
+  zero_dwell.mean_good_dwell = 0;
+  EXPECT_THROW(zero_dwell.validate(), std::logic_error);
+  EXPECT_THROW(make_gilbert_elliott(zero_dwell, 2, 1), std::logic_error);
+
+  GilbertElliottParams negative_dwell;
+  negative_dwell.mean_bad_dwell = -1;
+  EXPECT_THROW(negative_dwell.validate(), std::logic_error);
+
+  GilbertElliottParams bad_prob;
+  bad_prob.p_bad = 1.5;
+  EXPECT_THROW(bad_prob.validate(), std::logic_error);
+
+  EXPECT_NO_THROW(GilbertElliottParams{}.validate());
 }
 
 TEST(ChannelTest, GilbertElliottLossBetweenGoodAndBad) {
