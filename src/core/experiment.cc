@@ -200,6 +200,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   auto& metrics = simulator.metrics();
+  // completed_count is O(1) (Metrics keeps an exact counter) — this
+  // predicate runs after every event, so it must not scan the node table.
   const auto done = [&] { return metrics.completed_count(0) == receiver_count; };
   simulator.run(config.time_limit, done);
 
@@ -220,6 +222,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                     ? sim::to_seconds(metrics.last_completion())
                     : sim::to_seconds(config.time_limit);
   r.collisions = simulator.collisions();
+  r.events_executed = simulator.events_executed();
   r.hash_verifications = metrics.total_hash_verifications();
   r.signature_verifications = metrics.total_signature_verifications();
   r.auth_failures = metrics.total_auth_failures();

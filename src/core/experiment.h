@@ -91,6 +91,10 @@ struct ExperimentResult {
   double latency_s = 0.0;
 
   std::uint64_t collisions = 0;
+  /// Discrete events the simulator core executed during the run — the
+  /// workload denominator is wall-clock, so events/sec is the simulator
+  /// throughput figure (bench_scale). Deterministic for a (config, seed).
+  std::uint64_t events_executed = 0;
   std::uint64_t hash_verifications = 0;
   std::uint64_t signature_verifications = 0;
   std::uint64_t auth_failures = 0;

@@ -135,19 +135,15 @@ class LrSelugeState final : public proto::SchemeState {
                         payload.begin() +
                             static_cast<std::ptrdiff_t>(page0_block_size()))});
     } else {
-      proto::DataPacket probe;
-      probe.version = params_.version;
-      probe.page = page;
-      probe.index = index;
-      probe.payload = Bytes(payload.begin(), payload.end());
       m.hash_verifications += 1;
       if (payload.size() != params_.payload_size ||
-          !crypto::equal(crypto::packet_hash(view(probe.hash_preimage())),
-                         current_hashes_[index])) {
+          !crypto::equal(
+              proto::data_packet_hash(params_.version, page, index, payload),
+              current_hashes_[index])) {
         m.auth_failures += 1;
         return DataStatus::kRejected;
       }
-      shares_.push_back({index, std::move(probe.payload)});
+      shares_.push_back({index, Bytes(payload.begin(), payload.end())});
     }
     have_.set(index);
 
@@ -192,14 +188,10 @@ class LrSelugeState final : public proto::SchemeState {
         page_hashes_[page].size() != params_.n) {
       return false;
     }
-    proto::DataPacket probe;
-    probe.version = params_.version;
-    probe.page = page;
-    probe.index = index;
-    probe.payload = Bytes(payload.begin(), payload.end());
     m.hash_verifications += 1;
-    return crypto::equal(crypto::packet_hash(view(probe.hash_preimage())),
-                         page_hashes_[page][index]);
+    return crypto::equal(
+        proto::data_packet_hash(params_.version, page, index, payload),
+        page_hashes_[page][index]);
   }
 
   bool needs_signature() const override { return true; }

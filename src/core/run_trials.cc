@@ -102,6 +102,7 @@ ExperimentResult aggregate_trials(std::span<const ExperimentResult> trials) {
     rbytes += static_cast<double>(r.received_bytes);
     latency += r.latency_s;
     avg.collisions += r.collisions;
+    avg.events_executed += r.events_executed;
     avg.tx_energy_mj += r.tx_energy_mj / static_cast<double>(repeats);
     avg.rx_energy_mj += r.rx_energy_mj / static_cast<double>(repeats);
     avg.listen_energy_mj += r.listen_energy_mj / static_cast<double>(repeats);

@@ -4,7 +4,7 @@
 
 namespace lrs::crypto {
 
-Sha256Digest hmac_sha256(ByteView key, ByteView message) {
+HmacKey::HmacKey(ByteView key) {
   constexpr std::size_t kBlock = 64;
   std::array<std::uint8_t, kBlock> k{};  // zero-padded
   if (key.size() > kBlock) {
@@ -14,35 +14,52 @@ Sha256Digest hmac_sha256(ByteView key, ByteView message) {
     std::copy(key.begin(), key.end(), k.begin());
   }
 
-  std::array<std::uint8_t, kBlock> ipad, opad;
-  for (std::size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
-  }
-
+  std::array<std::uint8_t, kBlock> pad;
+  for (std::size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x36;
   Sha256 inner;
-  inner.update(ByteView(ipad.data(), ipad.size())).update(message);
-  const Sha256Digest inner_digest = inner.finalize();
+  inner.update(ByteView(pad.data(), pad.size()));
+  inner_ = inner.midstate();
 
+  for (std::size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x5c;
   Sha256 outer;
-  outer.update(ByteView(opad.data(), opad.size()))
-      .update(ByteView(inner_digest.data(), inner_digest.size()));
-  return outer.finalize();
+  outer.update(ByteView(pad.data(), pad.size()));
+  outer_ = outer.midstate();
 }
 
-ControlMac control_mac(ByteView key, ByteView message) {
+Sha256Digest hmac_sha256(const HmacKey& key, ByteView message) {
+  Sha256 inner = key.inner_ctx();
+  const Sha256Digest inner_digest = inner.update(message).finalize();
+  Sha256 outer = key.outer_ctx();
+  return outer.update(ByteView(inner_digest.data(), inner_digest.size()))
+      .finalize();
+}
+
+Sha256Digest hmac_sha256(ByteView key, ByteView message) {
+  return hmac_sha256(HmacKey(key), message);
+}
+
+ControlMac control_mac(const HmacKey& key, ByteView message) {
   const Sha256Digest full = hmac_sha256(key, message);
   ControlMac mac;
   std::copy_n(full.begin(), kControlMacSize, mac.begin());
   return mac;
 }
 
-bool verify_control_mac(ByteView key, ByteView message,
+ControlMac control_mac(ByteView key, ByteView message) {
+  return control_mac(HmacKey(key), message);
+}
+
+bool verify_control_mac(const HmacKey& key, ByteView message,
                         const ControlMac& mac) {
   const ControlMac expect = control_mac(key, message);
   std::uint8_t acc = 0;
   for (std::size_t i = 0; i < kControlMacSize; ++i) acc |= expect[i] ^ mac[i];
   return acc == 0;
+}
+
+bool verify_control_mac(ByteView key, ByteView message,
+                        const ControlMac& mac) {
+  return verify_control_mac(HmacKey(key), message, mac);
 }
 
 }  // namespace lrs::crypto

@@ -42,22 +42,24 @@ Sha256& Sha256::update(ByteView data) {
 
 Sha256Digest Sha256::finalize() {
   LRS_CHECK(!finalized_);
-
-  const std::uint64_t bit_len = total_len_ * 8;
-  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit big-endian
-  // message length.
-  std::uint8_t pad[72] = {0x80};
-  const std::size_t pad_len =
-      (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
-  update(ByteView(pad, pad_len));
   finalized_ = true;
-  std::uint8_t len_be[8];
+
+  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit big-endian
+  // message length — written straight into the block buffer (this runs
+  // once per digest, which in MAC-heavy simulations means millions of
+  // short messages; the byte-shuffling here is as hot as the compression).
+  const Sha256Kernel& kernel = sha256_kernel();
+  const std::uint64_t bit_len = total_len_ * 8;
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, 64 - buffer_len_);
+    kernel.compress(state_.data(), buffer_.data(), 1);
+    buffer_len_ = 0;
+  }
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
   for (int i = 0; i < 8; ++i)
-    len_be[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
-  // The padding above brought buffer_len_ to exactly 56.
-  LRS_CHECK(buffer_len_ == 56);
-  std::memcpy(buffer_.data() + buffer_len_, len_be, 8);
-  sha256_kernel().compress(state_.data(), buffer_.data(), 1);
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  kernel.compress(state_.data(), buffer_.data(), 1);
 
   Sha256Digest out;
   for (int i = 0; i < 8; ++i) {
@@ -67,6 +69,18 @@ Sha256Digest Sha256::finalize() {
     out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
   }
   return out;
+}
+
+Sha256Midstate Sha256::midstate() const {
+  LRS_CHECK(!finalized_ && buffer_len_ == 0);
+  return {state_, total_len_};
+}
+
+Sha256 Sha256::resume(const Sha256Midstate& m) {
+  Sha256 ctx;
+  ctx.state_ = m.state;
+  ctx.total_len_ = m.processed;
+  return ctx;
 }
 
 Sha256Digest Sha256::hash(ByteView data) {

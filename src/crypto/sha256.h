@@ -19,6 +19,14 @@ namespace lrs::crypto {
 /// A full 256-bit digest.
 using Sha256Digest = std::array<std::uint8_t, 32>;
 
+/// Compression state captured at a 64-byte block boundary. Lets a fixed
+/// prefix (e.g. an HMAC pad block) be absorbed once and then resumed per
+/// message — see HmacKey in crypto/hmac.h.
+struct Sha256Midstate {
+  std::array<std::uint32_t, 8> state;
+  std::uint64_t processed = 0;  // bytes absorbed; always a multiple of 64
+};
+
 /// Incremental hashing context.
 class Sha256 {
  public:
@@ -27,6 +35,12 @@ class Sha256 {
   Sha256& update(ByteView data);
   /// Finalizes and returns the digest. The context must not be reused after.
   Sha256Digest finalize();
+
+  /// Snapshot of the state; only valid when the bytes absorbed so far are
+  /// an exact multiple of the block size (no partial block buffered).
+  Sha256Midstate midstate() const;
+  /// A context that continues as if the midstate's bytes had been absorbed.
+  static Sha256 resume(const Sha256Midstate& m);
 
   /// One-shot convenience.
   static Sha256Digest hash(ByteView data);

@@ -17,6 +17,27 @@ DissemNode::DissemNode(sim::Env& env, std::unique_ptr<SchemeState> scheme,
       cluster_key_(std::move(cluster_key)),
       trickle_(cfg_.timing.trickle, &env.rng()) {
   LRS_CHECK(scheme_ != nullptr);
+  if (!cluster_key_.empty()) cluster_mac_.emplace(view(cluster_key_));
+}
+
+const crypto::HmacKey* DissemNode::snack_tx_mac() {
+  if (cfg_.leap_snack_auth) {
+    if (!leap_tx_mac_) {
+      leap_tx_mac_.emplace(
+          view(leap_source_key(view(cfg_.leap_master), env().id())));
+    }
+    return &*leap_tx_mac_;
+  }
+  return cluster_mac_ ? &*cluster_mac_ : nullptr;
+}
+
+const crypto::HmacKey& DissemNode::snack_rx_mac(NodeId sender) {
+  auto it = leap_rx_macs_.find(sender);
+  if (it == leap_rx_macs_.end()) {
+    const Bytes key = leap_source_key(view(cfg_.leap_master), sender);
+    it = leap_rx_macs_.emplace(sender, crypto::HmacKey(view(key))).first;
+  }
+  return it->second;
 }
 
 SimTime DissemNode::rand_delay(SimTime max) {
@@ -97,7 +118,8 @@ void DissemNode::send_advertisement() {
   adv.pages_complete = scheme_->pages_complete();
   adv.bootstrapped = scheme_->bootstrapped();
   env().broadcast(sim::PacketClass::kAdvertisement,
-                  adv.serialize(view(cluster_key_)));
+                  cluster_mac_ ? adv.serialize(*cluster_mac_)
+                               : adv.serialize(ByteView{}));
 }
 
 // --------------------------------------------------------------------------
@@ -109,7 +131,8 @@ void DissemNode::on_receive(ByteView frame) {
   if (!type) return;
   switch (*type) {
     case PacketType::kAdvertisement: {
-      auto adv = Advertisement::parse(frame, view(cluster_key_));
+      auto adv = cluster_mac_ ? Advertisement::parse(frame, *cluster_mac_)
+                              : Advertisement::parse(frame, ByteView{});
       if (!adv) {
         env().metrics().auth_failures += 1;
         note_auth_failure(sim::PacketClass::kAdvertisement);
@@ -135,10 +158,11 @@ void DissemNode::on_receive(ByteView frame) {
       if (cfg_.leap_snack_auth) {
         const auto sender = Snack::peek_sender(frame);
         if (!sender) return;
-        const Bytes key = leap_source_key(view(cfg_.leap_master), *sender);
-        snack = Snack::parse(frame, view(key));
+        snack = Snack::parse(frame, snack_rx_mac(*sender));
+      } else if (cluster_mac_) {
+        snack = Snack::parse(frame, *cluster_mac_);
       } else {
-        snack = Snack::parse(frame, view(cluster_key_));
+        snack = Snack::parse(frame, ByteView{});
       }
       if (!snack || snack->version != scheme_->version()) {
         if (!snack) {
@@ -225,7 +249,7 @@ void DissemNode::enter_rx(NodeId target) {
 
 void DissemNode::leave_rx() {
   env().cancel(rx_token_);
-  rx_token_ = nullptr;
+  rx_token_ = {};
   set_state(NodeState::kMaintain);
 }
 
@@ -236,12 +260,6 @@ void DissemNode::arm_snack(SimTime delay) {
   env().cancel(rx_token_);
   rx_token_ = env().schedule(std::min(delay, latest),
                              [this] { send_snack(); });
-}
-
-Bytes DissemNode::snack_tx_key() const {
-  if (cfg_.leap_snack_auth)
-    return leap_source_key(view(cfg_.leap_master), env().id());
-  return cluster_key_;
 }
 
 void DissemNode::send_snack() {
@@ -257,8 +275,9 @@ void DissemNode::send_snack() {
   s.target = rx_target_;
   s.page = page;
   s.requested = scheme_->request_bits(page);
+  const crypto::HmacKey* mac = snack_tx_mac();
   env().broadcast(sim::PacketClass::kSnack,
-                  s.serialize(view(snack_tx_key())));
+                  mac ? s.serialize(*mac) : s.serialize(ByteView{}));
 
   rx_deadline_ = env().now() + cfg_.timing.max_snack_deferral;
   env().cancel(rx_token_);
@@ -357,7 +376,7 @@ void DissemNode::begin_or_merge_tx(const Snack& snack) {
   if (state_ == NodeState::kRx) {
     // Serving takes precedence; resume requesting afterwards.
     env().cancel(rx_token_);
-    rx_token_ = nullptr;
+    rx_token_ = {};
     rx_pending_resume_ = true;
   }
   set_state(NodeState::kTx);
@@ -416,7 +435,7 @@ void DissemNode::serve_next() {
 
 void DissemNode::leave_tx() {
   env().cancel(tx_token_);
-  tx_token_ = nullptr;
+  tx_token_ = {};
   tx_sessions_.clear();
   set_state(NodeState::kMaintain);
   if (rx_pending_resume_ && !scheme_->image_complete()) {
@@ -547,8 +566,9 @@ void DissemNode::request_signature_from(NodeId target, Version version) {
         s.sender = env().id();
         s.target = target;
         s.page = kSignatureRequestPage;
+        const crypto::HmacKey* mac = snack_tx_mac();
         env().broadcast(sim::PacketClass::kSnack,
-                        s.serialize(view(snack_tx_key())));
+                        mac ? s.serialize(*mac) : s.serialize(ByteView{}));
       });
 }
 
@@ -606,11 +626,11 @@ void DissemNode::adopt_scheme(std::unique_ptr<SchemeState> next) {
 
 void DissemNode::reset_protocol_state() {
   env().cancel(rx_token_);
-  rx_token_ = nullptr;
+  rx_token_ = {};
   env().cancel(tx_token_);
-  tx_token_ = nullptr;
+  tx_token_ = {};
   env().cancel(sig_token_);
-  sig_token_ = nullptr;
+  sig_token_ = {};
   tx_sessions_.clear();
   set_state(NodeState::kMaintain);
   rx_pending_resume_ = false;

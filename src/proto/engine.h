@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 
 #include "proto/packet.h"
 #include "proto/params.h"
@@ -84,7 +86,14 @@ class DissemNode : public sim::Node {
   void request_signature_from(NodeId target, Version version);
   void adopt_scheme(std::unique_ptr<SchemeState> next);
   void reset_protocol_state();
-  Bytes snack_tx_key() const;
+  /// MAC key schedule for SNACKs this node sends: the LEAP per-source key
+  /// under LEAP auth (derived once, lazily — env().id() keyed), otherwise
+  /// the cluster key; nullptr when control traffic is unauthenticated.
+  const crypto::HmacKey* snack_tx_mac();
+  /// Verification key schedule for a SNACK claiming to come from `sender`
+  /// under LEAP auth. Derivation is deterministic in (master, sender), so
+  /// the cache is pure memoization.
+  const crypto::HmacKey& snack_rx_mac(NodeId sender);
   void maybe_broadcast_signature();
 
   // --- packet handlers -------------------------------------------------------
@@ -106,6 +115,13 @@ class DissemNode : public sim::Node {
   std::unique_ptr<SchemeState> scheme_;
   EngineConfig cfg_;
   Bytes cluster_key_;
+
+  // Precomputed HMAC pad midstates (crypto::HmacKey): every delivered
+  // control frame runs one MAC, so the per-key schedule is hoisted out of
+  // the hot path. nullopt when cluster_key_ is empty (insecure schemes).
+  std::optional<crypto::HmacKey> cluster_mac_;
+  std::optional<crypto::HmacKey> leap_tx_mac_;
+  std::unordered_map<NodeId, crypto::HmacKey> leap_rx_macs_;
 
   NodeState state_ = NodeState::kMaintain;
   sim::Trickle trickle_;

@@ -15,6 +15,11 @@ void append_mac(Bytes& frame, ByteView cluster_key) {
   frame.insert(frame.end(), mac.begin(), mac.end());
 }
 
+void append_mac(Bytes& frame, const crypto::HmacKey& key) {
+  const crypto::ControlMac mac = crypto::control_mac(key, view(frame));
+  frame.insert(frame.end(), mac.begin(), mac.end());
+}
+
 /// Splits off and checks the trailing MAC; returns the covered prefix, or
 /// nullopt on failure. When the key is empty the whole frame is returned.
 std::optional<ByteView> strip_mac(ByteView frame, ByteView cluster_key) {
@@ -25,6 +30,16 @@ std::optional<ByteView> strip_mac(ByteView frame, ByteView cluster_key) {
   std::copy_n(frame.begin() + body_len, crypto::kControlMacSize, mac.begin());
   const ByteView body = frame.subspan(0, body_len);
   if (!crypto::verify_control_mac(cluster_key, body, mac)) return std::nullopt;
+  return body;
+}
+
+std::optional<ByteView> strip_mac(ByteView frame, const crypto::HmacKey& key) {
+  if (frame.size() < crypto::kControlMacSize) return std::nullopt;
+  const std::size_t body_len = frame.size() - crypto::kControlMacSize;
+  crypto::ControlMac mac;
+  std::copy_n(frame.begin() + body_len, crypto::kControlMacSize, mac.begin());
+  const ByteView body = frame.subspan(0, body_len);
+  if (!crypto::verify_control_mac(key, body, mac)) return std::nullopt;
   return body;
 }
 
@@ -41,23 +56,20 @@ std::optional<PacketType> peek_type(ByteView frame) {
   }
 }
 
-Bytes Advertisement::serialize(ByteView cluster_key) const {
+namespace {
+
+Bytes adv_body(const Advertisement& a) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(PacketType::kAdvertisement));
-  w.u32(version);
-  w.u32(sender);
-  w.u32(pages_complete);
-  w.u8(bootstrapped ? 1 : 0);
-  Bytes frame = std::move(w).take();
-  append_mac(frame, cluster_key);
-  return frame;
+  w.u32(a.version);
+  w.u32(a.sender);
+  w.u32(a.pages_complete);
+  w.u8(a.bootstrapped ? 1 : 0);
+  return std::move(w).take();
 }
 
-std::optional<Advertisement> Advertisement::parse(ByteView frame,
-                                                  ByteView cluster_key) {
-  auto body = strip_mac(frame, cluster_key);
-  if (!body) return std::nullopt;
-  Reader r(*body);
+std::optional<Advertisement> parse_adv_body(ByteView body) {
+  Reader r(body);
   Advertisement a;
   auto type = r.try_u8();
   if (!type || *type != static_cast<std::uint8_t>(PacketType::kAdvertisement))
@@ -74,24 +86,50 @@ std::optional<Advertisement> Advertisement::parse(ByteView frame,
   return a;
 }
 
-Bytes Snack::serialize(ByteView cluster_key) const {
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(PacketType::kSnack));
-  w.u32(version);
-  w.u32(sender);
-  w.u32(target);
-  w.u32(page);
-  w.u16(static_cast<std::uint16_t>(requested.size()));
-  w.bytes(view(requested.to_bytes()));
-  Bytes frame = std::move(w).take();
+}  // namespace
+
+Bytes Advertisement::serialize(ByteView cluster_key) const {
+  Bytes frame = adv_body(*this);
   append_mac(frame, cluster_key);
   return frame;
 }
 
-std::optional<Snack> Snack::parse(ByteView frame, ByteView cluster_key) {
+Bytes Advertisement::serialize(const crypto::HmacKey& key) const {
+  Bytes frame = adv_body(*this);
+  append_mac(frame, key);
+  return frame;
+}
+
+std::optional<Advertisement> Advertisement::parse(ByteView frame,
+                                                  ByteView cluster_key) {
   auto body = strip_mac(frame, cluster_key);
   if (!body) return std::nullopt;
-  Reader r(*body);
+  return parse_adv_body(*body);
+}
+
+std::optional<Advertisement> Advertisement::parse(ByteView frame,
+                                                  const crypto::HmacKey& key) {
+  auto body = strip_mac(frame, key);
+  if (!body) return std::nullopt;
+  return parse_adv_body(*body);
+}
+
+namespace {
+
+Bytes snack_body(const Snack& s) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(PacketType::kSnack));
+  w.u32(s.version);
+  w.u32(s.sender);
+  w.u32(s.target);
+  w.u32(s.page);
+  w.u16(static_cast<std::uint16_t>(s.requested.size()));
+  w.bytes(view(s.requested.to_bytes()));
+  return std::move(w).take();
+}
+
+std::optional<Snack> parse_snack_body(ByteView body) {
+  Reader r(body);
   Snack s;
   auto type = r.try_u8();
   if (!type || *type != static_cast<std::uint8_t>(PacketType::kSnack))
@@ -110,6 +148,32 @@ std::optional<Snack> Snack::parse(ByteView frame, ByteView cluster_key) {
   s.page = *page;
   s.requested = BitVec::from_bytes(view(*raw), *bits);
   return s;
+}
+
+}  // namespace
+
+Bytes Snack::serialize(ByteView cluster_key) const {
+  Bytes frame = snack_body(*this);
+  append_mac(frame, cluster_key);
+  return frame;
+}
+
+Bytes Snack::serialize(const crypto::HmacKey& key) const {
+  Bytes frame = snack_body(*this);
+  append_mac(frame, key);
+  return frame;
+}
+
+std::optional<Snack> Snack::parse(ByteView frame, ByteView cluster_key) {
+  auto body = strip_mac(frame, cluster_key);
+  if (!body) return std::nullopt;
+  return parse_snack_body(*body);
+}
+
+std::optional<Snack> Snack::parse(ByteView frame, const crypto::HmacKey& key) {
+  auto body = strip_mac(frame, key);
+  if (!body) return std::nullopt;
+  return parse_snack_body(*body);
 }
 
 std::optional<NodeId> Snack::peek_sender(ByteView frame) {
@@ -165,6 +229,24 @@ Bytes DataPacket::hash_preimage() const {
   w.u32(index);
   w.bytes(view(payload));
   return std::move(w).take();
+}
+
+crypto::PacketHash data_packet_hash(Version version, std::uint32_t page,
+                                    std::uint32_t index, ByteView payload) {
+  // Streamed equivalent of packet_hash(view(DataPacket::hash_preimage())):
+  // same little-endian header bytes, same digest, no heap traffic.
+  std::uint8_t header[12];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(version >> (8 * i));
+    header[4 + i] = static_cast<std::uint8_t>(page >> (8 * i));
+    header[8 + i] = static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  crypto::Sha256 ctx;
+  ctx.update(ByteView(header, sizeof(header))).update(payload);
+  const crypto::Sha256Digest full = ctx.finalize();
+  crypto::PacketHash out;
+  std::copy_n(full.begin(), crypto::kPacketHashSize, out.begin());
+  return out;
 }
 
 Bytes SignedMeta::serialize() const {

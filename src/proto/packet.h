@@ -43,6 +43,13 @@ struct Advertisement {
   /// Parses and, when `cluster_key` is non-empty, verifies the MAC.
   static std::optional<Advertisement> parse(ByteView frame,
                                             ByteView cluster_key);
+
+  /// Precomputed-key variants, bit-identical to the ByteView overloads.
+  /// The engine MACs/verifies one control frame per delivery, so it holds
+  /// the pad midstates instead of redoing the HMAC key schedule each time.
+  Bytes serialize(const crypto::HmacKey& key) const;
+  static std::optional<Advertisement> parse(ByteView frame,
+                                            const crypto::HmacKey& key);
 };
 
 struct Snack {
@@ -54,6 +61,11 @@ struct Snack {
 
   Bytes serialize(ByteView cluster_key) const;
   static std::optional<Snack> parse(ByteView frame, ByteView cluster_key);
+
+  /// Precomputed-key variants (see Advertisement).
+  Bytes serialize(const crypto::HmacKey& key) const;
+  static std::optional<Snack> parse(ByteView frame,
+                                    const crypto::HmacKey& key);
 
   /// Reads the claimed sender without verifying anything — used to select
   /// the per-source verification key under LEAP-style SNACK auth.
@@ -78,6 +90,12 @@ struct DataPacket {
   /// and payload — binding position as well as content.
   Bytes hash_preimage() const;
 };
+
+/// packet_hash of the (version, page, index, payload) preimage, streamed
+/// straight into the hash context — the digest a receiver computes for
+/// every delivered data packet, without materializing hash_preimage().
+crypto::PacketHash data_packet_hash(Version version, std::uint32_t page,
+                                    std::uint32_t index, ByteView payload);
 
 /// Geometry and identity covered by the root signature. Signing these
 /// alongside the root stops an attacker from replaying a root with altered

@@ -156,14 +156,10 @@ class SelugeState final : public SchemeState {
     }
     if (index >= params_.k || payload.size() != params_.payload_size)
       return false;
-    DataPacket probe;
-    probe.version = params_.version;
-    probe.page = page;
-    probe.index = index;
-    probe.payload = Bytes(payload.begin(), payload.end());
     m.hash_verifications += 1;
-    return crypto::equal(crypto::packet_hash(view(probe.hash_preimage())),
-                         expected_hashes_[page][index]);
+    return crypto::equal(
+        data_packet_hash(params_.version, page, index, payload),
+        expected_hashes_[page][index]);
   }
 
   bool needs_signature() const override { return true; }
@@ -318,18 +314,13 @@ class SelugeState final : public SchemeState {
     auto& slot = content_pages_[page - 1][index];
     if (slot.has_value()) return DataStatus::kStale;
 
-    DataPacket probe;
-    probe.version = params_.version;
-    probe.page = page;
-    probe.index = index;
-    probe.payload = Bytes(payload.begin(), payload.end());
     m.hash_verifications += 1;
-    if (!crypto::equal(crypto::packet_hash(view(probe.hash_preimage())),
+    if (!crypto::equal(data_packet_hash(params_.version, page, index, payload),
                        expected_hashes_[page][index])) {
       m.auth_failures += 1;
       return DataStatus::kRejected;
     }
-    slot = std::move(probe.payload);
+    slot = Bytes(payload.begin(), payload.end());
 
     if (request_bits(page).none()) {
       if (page < meta_->content_pages) extract_next_hashes(page);

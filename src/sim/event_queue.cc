@@ -1,57 +1,192 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/check.h"
 
 namespace lrs::sim {
 
-EventToken EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
+EventQueue::EventQueue() : buckets_(kBuckets) {}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  ++s.gen;
+  if (s.gen == 0) ++s.gen;  // generation 0 is reserved for null tokens
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::push_ref(const Ref& r) {
+  const SimTime offset = r.time - base_;
+  if (offset >= kSpan) {
+    overflow_.push_back(r);
+    std::push_heap(overflow_.begin(), overflow_.end(),
+                   [](const Ref& a, const Ref& b) { return a.after(b); });
+    return;
+  }
+  const auto b = static_cast<std::size_t>(offset / kBucketWidth);
+  LRS_DCHECK(b < kBuckets);
+  auto& bucket = buckets_[b];
+  bucket.push_back(r);
+  std::push_heap(bucket.begin(), bucket.end(),
+                 [](const Ref& a, const Ref& b2) { return a.after(b2); });
+  occupied_[b / 64] |= std::uint64_t{1} << (b % 64);
+  if (b < cursor_) cursor_ = b;
+}
+
+EventToken EventQueue::schedule_at(SimTime at, EventFn fn) {
   LRS_CHECK_MSG(at >= now_, "cannot schedule events in the past");
-  auto token = std::make_shared<bool>(false);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), token});
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  const EventToken token(slot, s.gen);
+  push_ref(Ref{at, next_seq_++, slot, s.gen});
+  ++live_;
   return token;
 }
 
-std::optional<SimTime> EventQueue::peek_time() {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.cancelled && *top.cancelled) {
-      queue_.pop();
-      continue;
-    }
-    return top.time;
+bool EventQueue::cancel(EventToken token) {
+  if (!token) return false;
+  const std::uint32_t slot = token.slot();
+  if (slot >= slots_.size() || slots_[slot].gen != token.gen()) return false;
+  release_slot(slot);  // the bucket/overflow ref goes stale and is skipped
+  --live_;
+  return true;
+}
+
+std::size_t EventQueue::next_occupied(std::size_t from) const {
+  if (from >= kBuckets) return kBuckets;
+  std::size_t word = from / 64;
+  std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (from % 64));
+  while (bits == 0) {
+    if (++word >= kBitmapWords) return kBuckets;
+    bits = occupied_[word];
   }
-  return std::nullopt;
+  return word * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+}
+
+bool EventQueue::prune_bucket(std::size_t b) {
+  auto& bucket = buckets_[b];
+  const auto after = [](const Ref& a, const Ref& b2) { return a.after(b2); };
+  while (!bucket.empty() && !is_live(bucket.front())) {
+    std::pop_heap(bucket.begin(), bucket.end(), after);
+    bucket.pop_back();
+  }
+  if (bucket.empty()) {
+    occupied_[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+    return false;
+  }
+  return true;
+}
+
+bool EventQueue::prune_overflow() {
+  const auto after = [](const Ref& a, const Ref& b) { return a.after(b); };
+  while (!overflow_.empty() && !is_live(overflow_.front())) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), after);
+    overflow_.pop_back();
+  }
+  return !overflow_.empty();
+}
+
+bool EventQueue::find_earliest(SimTime* time) {
+  if (live_ == 0) return false;
+  for (std::size_t b = next_occupied(cursor_); b < kBuckets;
+       b = next_occupied(b + 1)) {
+    // Buckets ahead of the first live entry are empty or stale-only, so
+    // the cursor can skip them on every later scan.
+    cursor_ = b;
+    if (prune_bucket(b)) {
+      *time = buckets_[b].front().time;
+      return true;
+    }
+  }
+  cursor_ = kBuckets;
+  if (!prune_overflow()) return false;  // unreachable while live_ > 0
+  *time = overflow_.front().time;
+  return true;
+}
+
+EventQueue::Ref EventQueue::pop_earliest() {
+  const auto after = [](const Ref& a, const Ref& b) { return a.after(b); };
+  const std::size_t b = cursor_;
+  if (b < kBuckets) {
+    auto& bucket = buckets_[b];
+    LRS_DCHECK(!bucket.empty() && is_live(bucket.front()));
+    std::pop_heap(bucket.begin(), bucket.end(), after);
+    const Ref r = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) occupied_[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+    return r;
+  }
+  // Wheel drained: re-anchor it onto the overflow's earliest event and
+  // sweep everything inside the new horizon back into buckets. now_ is
+  // advanced to the popped event's time by the caller before any code can
+  // schedule again, so base_ <= now() keeps holding.
+  LRS_DCHECK(!overflow_.empty() && is_live(overflow_.front()));
+  const SimTime head = overflow_.front().time;
+  base_ = head - (head % kBucketWidth);
+  cursor_ = 0;
+  while (!overflow_.empty() && overflow_.front().time - base_ < kSpan) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), after);
+    const Ref r = overflow_.back();
+    overflow_.pop_back();
+    if (is_live(r)) push_ref(r);
+  }
+  SimTime t;
+  const bool found = find_earliest(&t);
+  LRS_DCHECK(found);
+  (void)found;
+  return pop_earliest();
+}
+
+void EventQueue::run_ref(const Ref& r) {
+  now_ = r.time;
+  // Move the closure out and release the slot first, so the event body can
+  // freely reschedule (possibly into this very slot) and cancelling its
+  // own, now stale, token is a no-op.
+  EventFn fn = std::move(slots_[r.slot].fn);
+  release_slot(r.slot);
+  --live_;
+  ++executed_;
+  fn();
 }
 
 bool EventQueue::run_next() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (e.cancelled && *e.cancelled) continue;
-    now_ = e.time;
-    e.fn();
-    return true;
-  }
-  return false;
+  SimTime t;
+  if (!find_earliest(&t)) return false;
+  run_ref(pop_earliest());
+  return true;
+}
+
+bool EventQueue::run_next_before(SimTime limit) {
+  SimTime t;
+  if (!find_earliest(&t) || t > limit) return false;
+  run_ref(pop_earliest());
+  return true;
+}
+
+std::optional<SimTime> EventQueue::peek_time() {
+  SimTime t;
+  if (!find_earliest(&t)) return std::nullopt;
+  return t;
 }
 
 std::uint64_t EventQueue::run_until(SimTime limit) {
-  std::uint64_t executed = 0;
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.cancelled && *top.cancelled) {
-      queue_.pop();
-      continue;
-    }
-    if (top.time > limit) break;
-    Entry e = queue_.top();
-    queue_.pop();
-    now_ = e.time;
-    e.fn();
-    ++executed;
-  }
-  if (now_ < limit && queue_.empty()) now_ = limit;
-  return executed;
+  std::uint64_t count = 0;
+  while (run_next_before(limit)) ++count;
+  if (live_ == 0 && now_ < limit) now_ = limit;
+  return count;
 }
 
 }  // namespace lrs::sim

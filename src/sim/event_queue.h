@@ -1,68 +1,280 @@
-// Priority event queue for the discrete-event simulator.
+// Calendar event queue for the discrete-event simulator.
 //
-// Events at equal timestamps fire in scheduling order (a strictly increasing
-// sequence number breaks ties), which keeps runs reproducible. Cancellation
-// is cooperative: schedule() hands back a token the caller may cancel; a
-// cancelled event is skipped when popped.
+// The hot path of every experiment is schedule / cancel / pop, so all three
+// are allocation-free in steady state:
+//
+//  - Events live in a slab of fixed-layout slots recycled through a free
+//    list. A slot is addressed by an EventToken — a POD {slot, generation}
+//    handle — so cancellation is an O(1) generation bump, never a search
+//    and never a heap allocation (the old design minted a shared_ptr<bool>
+//    per event).
+//  - Closures are stored inline in the slot (EventFn, a fixed-capacity
+//    copyable closure), not in a std::function that spills to the heap.
+//  - Ordering uses a bucketed calendar: a wheel of kBuckets windows of
+//    kBucketWidth microseconds each, with a min-heap per bucket and a
+//    sorted overflow heap for events beyond the wheel's horizon. Schedule
+//    and pop are O(1) amortized for the timer/airtime event mix the radio
+//    model produces (sub-second deltas); far-future events (advertisement
+//    trains, crash schedules) ride the overflow heap and are swept into
+//    the wheel when the wheel drains and re-anchors.
+//
+// Determinism: events fire in strictly increasing (time, seq) order, where
+// seq is the scheduling order — exactly the contract of the binary-heap
+// queue this replaces, so historical seeds replay byte-identically.
+//
+// Cancellation is cooperative and lazy: cancel() invalidates the slot
+// immediately (live counts update right away — pending() and empty() are
+// exact), but the stale reference stays in its bucket until the pop path
+// reaches and discards it. Consequently an event cancelled at any point
+// before it fires — including between a peek_time() that reported its time
+// and the run_next() that would have fired it — can never fire; run_next()
+// skips the stale entry and fires the next live event instead.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <new>
 #include <optional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/check.h"
 
 namespace lrs::sim {
 
-/// Shared cancellation flag. Holding the token and setting *token = true
-/// before the event fires suppresses it.
-using EventToken = std::shared_ptr<bool>;
-
-class EventQueue {
+/// Fixed-capacity inline closure for simulator events: copyable, movable,
+/// never heap-allocates. Capturing more than kCapacity bytes is a compile
+/// error — enlarge the capture-heaviest call site or the capacity, not the
+/// allocation count.
+class EventFn {
  public:
-  /// Schedules `fn` at absolute time `at` (must be >= now()).
-  EventToken schedule_at(SimTime at, std::function<void()> fn);
+  static constexpr std::size_t kCapacity = 64;
 
-  SimTime now() const { return now_; }
-  /// Counts cancelled-but-not-yet-popped events too (they are skipped when
-  /// reached); callers treat these as conservative.
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  EventFn() = default;
 
-  /// Pops and runs the next event; returns false when the queue is empty.
-  bool run_next();
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "event closure captures too much for inline storage");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    new (storage_) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::ops;
+  }
 
-  /// Time of the next live event, discarding cancelled entries on the way;
-  /// nullopt when drained.
-  std::optional<SimTime> peek_time();
+  EventFn(const EventFn& other) { copy_from(other); }
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(const EventFn& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~EventFn() { reset(); }
 
-  /// Runs until the queue drains or `limit` is passed (events strictly after
-  /// `limit` stay queued). Returns the number of events executed.
-  std::uint64_t run_until(SimTime limit);
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
 
-  static void cancel(const EventToken& token) {
-    if (token) *token = true;
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    LRS_DCHECK(ops_ != nullptr);
+    ops_->invoke(storage_);
   }
 
  private:
-  struct Entry {
+  struct Ops {
+    void (*invoke)(void*);
+    void (*copy)(void* dst, const void* src);
+    void (*move)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, const void* src) {
+          new (dst) Fn(*static_cast<const Fn*>(src));
+        },
+        [](void* dst, void* src) {
+          new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+    };
+  };
+
+  void copy_from(const EventFn& other) {
+    if (other.ops_ != nullptr) {
+      other.ops_->copy(storage_, other.storage_);
+      ops_ = other.ops_;
+    }
+  }
+  void move_from(EventFn& other) {
+    if (other.ops_ != nullptr) {
+      other.ops_->move(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.reset();
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+/// Handle to a scheduled event: a {slot, generation} pair packed into one
+/// word. Default-constructed tokens are null; a token goes stale (cancel
+/// becomes a no-op) the moment its event fires or is cancelled, so holding
+/// one past either is always safe — there is nothing to leak or double-
+/// free. Copy freely; copies refer to the same event.
+class EventToken {
+ public:
+  EventToken() = default;
+
+  explicit operator bool() const { return bits_ != 0; }
+  friend bool operator==(const EventToken&, const EventToken&) = default;
+
+  /// Raw packed value — for test doubles that mint their own distinct
+  /// tokens and for diagnostics. Real tokens come from schedule_at().
+  static EventToken from_bits(std::uint64_t bits) {
+    EventToken t;
+    t.bits_ = bits;
+    return t;
+  }
+  std::uint64_t bits() const { return bits_; }
+
+ private:
+  friend class EventQueue;
+  EventToken(std::uint32_t slot, std::uint32_t gen)
+      : bits_((static_cast<std::uint64_t>(slot) << 32) | gen) {}
+  std::uint32_t slot() const { return static_cast<std::uint32_t>(bits_ >> 32); }
+  std::uint32_t gen() const { return static_cast<std::uint32_t>(bits_); }
+
+  std::uint64_t bits_ = 0;  // 0 = null (live generations are never 0)
+};
+
+class EventQueue {
+ public:
+  EventQueue();
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  EventToken schedule_at(SimTime at, EventFn fn);
+
+  /// Cancels the event, O(1). Returns true when the token referred to a
+  /// live (scheduled, not yet fired) event; false for null or stale
+  /// tokens. A cancelled event never fires, even when the cancellation
+  /// lands between a peek_time() and the run_next() that would have
+  /// popped it.
+  bool cancel(EventToken token);
+
+  SimTime now() const { return now_; }
+  /// Number of events executed since construction (cancelled events are
+  /// never counted).
+  std::uint64_t executed() const { return executed_; }
+  /// Exactly the number of live (scheduled, not fired, not cancelled)
+  /// events — cancellation updates both immediately.
+  bool empty() const { return live_ == 0; }
+  std::size_t pending() const { return live_; }
+
+  /// Pops and runs the next live event; returns false when none remain.
+  bool run_next();
+
+  /// Runs the next live event only if its time is <= limit. Returns true
+  /// when an event ran. Does not advance now() when nothing runs — the
+  /// single-traversal loop primitive Simulator::run is built on.
+  bool run_next_before(SimTime limit);
+
+  /// Time of the next live event, discarding stale (cancelled) entries on
+  /// the way; nullopt when drained. Does not advance now().
+  std::optional<SimTime> peek_time();
+
+  /// Runs events in order while their time is <= limit. Returns the number
+  /// executed. When the queue drains (no live events left) and now() is
+  /// still behind, now() advances to `limit`; events strictly after
+  /// `limit` — and only live ones count — keep now() at the last executed
+  /// event's time.
+  std::uint64_t run_until(SimTime limit);
+
+ private:
+  // Wheel geometry: 4096 buckets of 1 ms cover ~4.1 s of lookahead, which
+  // spans the radio model's backoff (0.5–50 ms) and airtime (~1–4 ms)
+  // deltas; protocol-level timers beyond the horizon take the overflow
+  // heap. Width and count are powers of two so index math is shift/mask.
+  static constexpr int kBucketBits = 12;
+  static constexpr std::size_t kBuckets = std::size_t{1} << kBucketBits;
+  static constexpr SimTime kBucketWidth = kMillisecond;
+  static constexpr SimTime kSpan = static_cast<SimTime>(kBuckets) *
+                                   kBucketWidth;
+  static constexpr std::size_t kBitmapWords = kBuckets / 64;
+
+  /// POD reference ordered by (time, seq); `gen` detects stale entries
+  /// whose event was cancelled (or whose slot was recycled) after the
+  /// reference was enqueued.
+  struct Ref {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-    EventToken cancelled;
+    std::uint32_t slot;
+    std::uint32_t gen;
 
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+    bool after(const Ref& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
     }
   };
 
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;  // bumped on every release; 0 never occurs
+  };
+
+  bool is_live(const Ref& r) const { return slots_[r.slot].gen == r.gen; }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void push_ref(const Ref& r);
+  /// First bucket index >= from with entries, or kBuckets when the wheel
+  /// is clear.
+  std::size_t next_occupied(std::size_t from) const;
+  /// Drops stale heap tops; true when a live ref tops the bucket after.
+  bool prune_bucket(std::size_t b);
+  bool prune_overflow();
+  /// Locates the earliest live ref without removing it. Never re-anchors
+  /// (safe from peek paths); when the wheel is clear the overflow top is
+  /// the answer. Returns false when no live events remain.
+  bool find_earliest(SimTime* time);
+  /// Removes and returns the earliest live ref, re-anchoring the wheel
+  /// onto the overflow when it drains. Only called when a live event
+  /// exists and will be executed.
+  Ref pop_earliest();
+  void run_ref(const Ref& r);
+
   SimTime now_ = 0;
+  SimTime base_ = 0;        // wheel origin, multiple of kBucketWidth
+  std::size_t cursor_ = 0;  // first bucket that can still hold entries
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::vector<Ref>> buckets_;  // min-heaps by (time, seq)
+  std::uint64_t occupied_[kBitmapWords] = {};
+  std::vector<Ref> overflow_;  // min-heap by (time, seq)
 };
 
 }  // namespace lrs::sim

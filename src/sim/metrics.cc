@@ -99,10 +99,19 @@ std::uint64_t Metrics::total_signature_verifications() const {
   return total;
 }
 
+bool Metrics::record_completion(NodeId id, SimTime at) {
+  LRS_CHECK(id < nodes_.size());
+  auto& m = nodes_[id];
+  if (m.completion_time >= 0) return false;
+  m.completion_time = at;
+  ++completions_;
+  return true;
+}
+
 std::size_t Metrics::completed_count(NodeId excluding) const {
-  std::size_t count = 0;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    if (id != excluding && nodes_[id].completion_time >= 0) ++count;
+  std::size_t count = completions_;
+  if (excluding < nodes_.size() && nodes_[excluding].completion_time >= 0) {
+    --count;
   }
   return count;
 }

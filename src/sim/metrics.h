@@ -59,6 +59,8 @@ struct NodeMetrics {
   std::uint64_t rx_airtime_us = 0;
 
   /// Set when the node holds the complete, verified image; -1 = incomplete.
+  /// Written through Metrics::record_completion so the network-wide
+  /// completion counter stays exact.
   SimTime completion_time = -1;
 };
 
@@ -84,14 +86,23 @@ class Metrics {
   std::uint64_t total_hash_verifications() const;
   std::uint64_t total_signature_verifications() const;
 
+  /// Marks `id` complete at time `at`. Returns true the first time for the
+  /// node (repeat calls are no-ops), so callers can fire once-per-node
+  /// hooks off it.
+  bool record_completion(NodeId id, SimTime at);
+
+  /// Nodes that have completed, O(1) — this is polled after every event in
+  /// the simulator's done() check, so it must not scan.
+  std::size_t completions() const { return completions_; }
   /// Number of nodes (excluding `excluding`, usually the base station) that
-  /// have completed.
+  /// have completed. O(1).
   std::size_t completed_count(NodeId excluding) const;
   /// Latest completion time over all completed nodes; -1 if none.
   SimTime last_completion() const;
 
  private:
   std::vector<NodeMetrics> nodes_;
+  std::size_t completions_ = 0;
 };
 
 }  // namespace lrs::sim

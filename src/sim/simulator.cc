@@ -7,30 +7,41 @@
 
 namespace lrs::sim {
 
-/// One in-flight frame. Per-receiver corruption flags are tracked for every
-/// neighbor that started locked onto this frame.
+namespace {
+/// "No transmission" sentinel for NodeState::rx_tx pool indices.
+constexpr std::uint32_t kNoTx = 0xffffffffu;
+}  // namespace
+
+/// One in-flight frame, slab-pooled (see tx_pool_). Per-receiver corruption
+/// flags are tracked for every neighbor that started locked onto this frame.
 struct Simulator::Transmission {
-  NodeId sender;
-  PacketClass cls;
+  NodeId sender = 0;
+  PacketClass cls = PacketClass::kData;
   Bytes frame;
-  SimTime end;
   // corrupted[i] corresponds to topology.neighbors(sender)[i].
-  std::vector<bool> corrupted;
+  std::vector<std::uint8_t> corrupted;
 };
 
 struct Simulator::NodeState {
-  // MAC queue: frames waiting for the channel.
-  std::deque<std::pair<PacketClass, Bytes>> tx_queue;
+  // MAC queue: frames waiting for the channel. A vector-backed FIFO (pop =
+  // advance tx_head) whose storage is recycled once drained, so steady-
+  // state queueing never reallocates.
+  std::vector<std::pair<PacketClass, Bytes>> tx_queue;
+  std::size_t tx_head = 0;
   bool attempt_scheduled = false;
   bool transmitting = false;
   SimTime backoff_window = 0;
-  // Frame this node's receiver is currently locked onto (sender + slot
-  // index into that transmission's corrupted vector), if any.
-  std::shared_ptr<Transmission> rx_current;
-  std::size_t rx_slot = 0;
+  // Frame this node's receiver is currently locked onto: pool index of the
+  // transmission plus this node's slot in its corrupted vector. Always a
+  // live transmission — every reference is cleared before the end event
+  // releases the slot.
+  std::uint32_t rx_tx = kNoTx;
+  std::uint32_t rx_slot = 0;
   // Number of active transmissions whose carrier reaches this node.
   int carrier_count = 0;
   Rng rng{0};
+
+  std::size_t queued() const { return tx_queue.size() - tx_head; }
 };
 
 class Simulator::SimEnv final : public Env {
@@ -45,26 +56,24 @@ class Simulator::SimEnv final : public Env {
     sim_->enqueue_frame(id_, cls, std::move(frame));
   }
 
-  EventToken schedule(SimTime delay, std::function<void()> fn) override {
+  EventToken schedule(SimTime delay, EventFn fn) override {
     LRS_CHECK(delay >= 0);
     return sim_->queue_.schedule_at(now() + delay, std::move(fn));
   }
 
-  void cancel(const EventToken& token) override { EventQueue::cancel(token); }
+  void cancel(EventToken token) override { sim_->queue_.cancel(token); }
 
   std::size_t pending_tx() const override {
     const auto& st = sim_->states_[id_];
-    return st.tx_queue.size() + (st.transmitting ? 1 : 0);
+    return st.queued() + (st.transmitting ? 1 : 0);
   }
 
   Rng& rng() override { return sim_->states_[id_].rng; }
   NodeMetrics& metrics() override { return sim_->metrics_->node(id_); }
 
   void notify_complete() override {
-    auto& m = sim_->metrics_->node(id_);
-    if (m.completion_time < 0) {
-      m.completion_time = now();
-      if (sim_->observer_) sim_->observer_->on_node_complete(now(), id_);
+    if (sim_->metrics_->record_completion(id_, now()) && sim_->observer_) {
+      sim_->observer_->on_node_complete(now(), id_);
     }
   }
 
@@ -136,12 +145,26 @@ void Simulator::start_if_needed() {
 bool Simulator::run(SimTime limit, const std::function<bool()>& done) {
   start_if_needed();
   if (done && done()) return true;
-  while (auto t = queue_.peek_time()) {
-    if (*t > limit) break;
-    queue_.run_next();
+  while (queue_.run_next_before(limit)) {
     if (done && done()) return true;
   }
   return done ? done() : true;
+}
+
+std::uint32_t Simulator::acquire_tx() {
+  if (!tx_free_.empty()) {
+    const std::uint32_t t = tx_free_.back();
+    tx_free_.pop_back();
+    return t;
+  }
+  tx_pool_.emplace_back();
+  return static_cast<std::uint32_t>(tx_pool_.size() - 1);
+}
+
+void Simulator::release_tx(std::uint32_t tx_index) {
+  // Buffers keep their capacity for the next occupant; the frame bytes
+  // themselves are freed when the slot is refilled (move-assignment).
+  tx_free_.push_back(tx_index);
 }
 
 void Simulator::enqueue_frame(NodeId sender, PacketClass cls, Bytes frame) {
@@ -171,17 +194,18 @@ void Simulator::schedule_attempt(NodeId sender, SimTime delay) {
 
 bool Simulator::carrier_busy(NodeId sender) const {
   const auto& st = states_[sender];
-  return st.carrier_count > 0 || st.rx_current != nullptr;
+  return st.carrier_count > 0 || st.rx_tx != kNoTx;
 }
 
 void Simulator::attempt_send(NodeId sender) {
   auto& st = states_[sender];
   st.attempt_scheduled = false;
-  if (st.tx_queue.empty() || st.transmitting) return;
+  if (st.queued() == 0 || st.transmitting) return;
   if (fault_ && fault_->is_down(sender, queue_.now())) {
     // The node crashed with frames queued: the MAC queue dies with it.
-    fault_drops_ += st.tx_queue.size();
+    fault_drops_ += st.queued();
     st.tx_queue.clear();
+    st.tx_head = 0;
     return;
   }
 
@@ -200,34 +224,38 @@ void Simulator::attempt_send(NodeId sender) {
 
 void Simulator::begin_transmission(NodeId sender) {
   auto& st = states_[sender];
-  auto [cls, frame] = std::move(st.tx_queue.front());
-  st.tx_queue.pop_front();
+  const std::uint32_t ti = acquire_tx();
+  Transmission& tx = tx_pool_[ti];
+  auto& [cls, frame] = st.tx_queue[st.tx_head];
+  tx.sender = sender;
+  tx.cls = cls;
+  tx.frame = std::move(frame);
+  if (++st.tx_head == st.tx_queue.size()) {
+    st.tx_queue.clear();  // keeps capacity; the FIFO storage is recycled
+    st.tx_head = 0;
+  }
 
-  const SimTime duration = radio_.airtime(frame.size());
-  auto tx = std::make_shared<Transmission>();
-  tx->sender = sender;
-  tx->cls = cls;
-  tx->end = queue_.now() + duration;
-  tx->frame = std::move(frame);
+  const SimTime duration = radio_.airtime(tx.frame.size());
+  const SimTime end = queue_.now() + duration;
 
   const auto& neighbors = topology_.neighbors(sender);
-  tx->corrupted.assign(neighbors.size(), false);
+  tx.corrupted.assign(neighbors.size(), 0);
 
-  metrics_->record_send(sender, cls, tx->frame.size());
+  metrics_->record_send(sender, tx.cls, tx.frame.size());
   if (observer_) {
-    observer_->on_send(queue_.now(), sender, cls, view(tx->frame));
+    observer_->on_send(queue_.now(), sender, tx.cls, view(tx.frame));
   }
   metrics_->node(sender).tx_airtime_us +=
       static_cast<std::uint64_t>(duration);
   LRS_LOG(kTrace) << "TX node " << sender << " class "
-                  << packet_class_name(cls) << " start " << queue_.now()
-                  << " end " << tx->end;
+                  << packet_class_name(tx.cls) << " start " << queue_.now()
+                  << " end " << end;
   st.transmitting = true;
 
   // Half-duplex: starting to transmit aborts any in-progress reception.
-  if (st.rx_current) {
-    st.rx_current->corrupted[st.rx_slot] = true;
-    st.rx_current = nullptr;
+  if (st.rx_tx != kNoTx) {
+    tx_pool_[st.rx_tx].corrupted[st.rx_slot] = 1;
+    st.rx_tx = kNoTx;
     ++collisions_;
   }
 
@@ -237,27 +265,29 @@ void Simulator::begin_transmission(NodeId sender) {
     ++rs.carrier_count;
     if (rs.transmitting) {
       // Receiver is busy talking: it misses this frame entirely.
-      tx->corrupted[slot] = true;
+      tx.corrupted[slot] = 1;
       continue;
     }
-    if (rs.rx_current) {
+    if (rs.rx_tx != kNoTx) {
       // Collision: both the in-progress frame and this one are lost at r.
-      rs.rx_current->corrupted[rs.rx_slot] = true;
-      tx->corrupted[slot] = true;
+      tx_pool_[rs.rx_tx].corrupted[rs.rx_slot] = 1;
+      tx.corrupted[slot] = 1;
       ++collisions_;
       continue;
     }
-    rs.rx_current = tx;
-    rs.rx_slot = slot;
+    rs.rx_tx = ti;
+    rs.rx_slot = static_cast<std::uint32_t>(slot);
   }
 
-  queue_.schedule_at(tx->end, [this, sender, tx] {
-    end_transmission(sender, tx);
-  });
+  queue_.schedule_at(end, [this, ti] { end_transmission(ti); });
 }
 
-void Simulator::end_transmission(NodeId sender,
-                                 const std::shared_ptr<Transmission>& tx) {
+void Simulator::end_transmission(std::uint32_t tx_index) {
+  // Safe to hold the reference across the loop: nothing inside delivery
+  // can start a transmission synchronously (sends always go through a
+  // scheduled attempt), so the pool cannot grow under us.
+  Transmission& tx = tx_pool_[tx_index];
+  const NodeId sender = tx.sender;
   auto& st = states_[sender];
   st.transmitting = false;
 
@@ -266,26 +296,30 @@ void Simulator::end_transmission(NodeId sender,
     const NodeId r = neighbors[slot];
     auto& rs = states_[r];
     --rs.carrier_count;
-    const bool locked = rs.rx_current == tx && rs.rx_slot == slot;
+    const bool locked = rs.rx_tx == tx_index && rs.rx_slot == slot;
     if (locked) {
-      rs.rx_current = nullptr;
+      rs.rx_tx = kNoTx;
       // The receiver's radio was occupied for the whole frame whether or
       // not the content survives (collisions/losses still cost energy).
       metrics_->node(r).rx_airtime_us +=
-          static_cast<std::uint64_t>(radio_.airtime(tx->frame.size()));
+          static_cast<std::uint64_t>(radio_.airtime(tx.frame.size()));
     }
 
-    if (!locked || tx->corrupted[slot]) continue;
+    if (!locked || tx.corrupted[slot] != 0) continue;
     // Channel quality: topology PRR sample, then the loss-model overlay
     // (application-layer drops in the paper's one-hop experiments).
-    if (!rs.rng.bernoulli(topology_.prr(sender, r))) continue;
+    if (!rs.rng.bernoulli(topology_.prr_by_slot(sender, slot))) continue;
     if (!loss_->delivered(sender, r, queue_.now(), rs.rng)) continue;
 
-    deliver(sender, r, tx->cls, tx->frame);
+    deliver(sender, r, tx.cls, tx.frame);
   }
 
+  // Every receiver reference was cleared above (or earlier, on abort), so
+  // the slot can recycle.
+  release_tx(tx_index);
+
   // Node may have queued more frames while transmitting.
-  if (!st.tx_queue.empty() && !st.attempt_scheduled) {
+  if (st.queued() != 0 && !st.attempt_scheduled) {
     schedule_attempt(sender,
                      radio_.backoff_initial +
                          static_cast<SimTime>(st.rng.uniform(

@@ -9,7 +9,7 @@
 // (the paper's application-layer drop probability p).
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -62,12 +62,16 @@ class Env {
   virtual SimObserver* observer() const { return nullptr; }
   /// Local broadcast to all radio neighbors (queued behind CSMA).
   virtual void broadcast(PacketClass cls, Bytes frame) = 0;
-  /// One-shot timer; the token cancels it.
-  virtual EventToken schedule(SimTime delay, std::function<void()> fn) = 0;
+  /// One-shot timer; the token cancels it. The closure is stored inline
+  /// (EventFn) — captures beyond its capacity are a compile error, which
+  /// keeps the per-event allocation count at zero.
+  virtual EventToken schedule(SimTime delay, EventFn fn) = 0;
   /// Frames waiting in (or occupying) this node's MAC: lets senders pace
   /// themselves to the radio instead of flooding the queue.
   virtual std::size_t pending_tx() const = 0;
-  virtual void cancel(const EventToken& token) = 0;
+  /// Cancels a timer; null and stale (already fired/cancelled) tokens are
+  /// ignored.
+  virtual void cancel(EventToken token) = 0;
   virtual Rng& rng() = 0;
   virtual NodeMetrics& metrics() = 0;
   /// The node holds the complete verified image (records completion time).
@@ -292,6 +296,10 @@ class Simulator {
   /// exposed for radio-model tests and diagnostics.
   std::uint64_t collisions() const { return collisions_; }
 
+  /// Total events the queue executed so far — the numerator of the
+  /// events/sec throughput figure bench_scale tracks across PRs.
+  std::uint64_t events_executed() const { return queue_.executed(); }
+
   /// Fault-layer accounting: frames whose bytes the fault model altered,
   /// frames it swallowed (drops plus deliveries to crashed nodes), and
   /// crash/reboot events fired.
@@ -313,8 +321,9 @@ class Simulator {
   void attempt_send(NodeId sender);
   bool carrier_busy(NodeId sender) const;
   void begin_transmission(NodeId sender);
-  void end_transmission(NodeId sender,
-                        const std::shared_ptr<Transmission>& tx);
+  void end_transmission(std::uint32_t tx_index);
+  std::uint32_t acquire_tx();
+  void release_tx(std::uint32_t tx_index);
   void deliver(NodeId sender, NodeId receiver, PacketClass cls,
                const Bytes& frame);
   void deliver_now(NodeId sender, NodeId receiver, PacketClass cls,
@@ -333,6 +342,12 @@ class Simulator {
   std::vector<std::unique_ptr<SimEnv>> envs_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<NodeState> states_;
+  // In-flight transmissions, slab-pooled: a transmission's lifetime is
+  // bounded by its own end event, so slots recycle through a free list and
+  // the frame/flag buffers keep their capacity — broadcast to N neighbors
+  // is N copy-free deliveries of the one pooled payload.
+  std::vector<Transmission> tx_pool_;
+  std::vector<std::uint32_t> tx_free_;
   bool started_ = false;
   std::uint64_t collisions_ = 0;
   std::uint64_t tampered_frames_ = 0;

@@ -1,7 +1,9 @@
 #include "sim/topology.h"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
+#include <utility>
 
 #include "util/check.h"
 
@@ -37,11 +39,82 @@ LinkModel LinkModel::perfect() {
 
 Topology::Topology(std::vector<Position> positions, const LinkModel& link)
     : positions_(std::move(positions)), link_(link) {
-  neighbors_.resize(positions_.size());
-  for (NodeId a = 0; a < positions_.size(); ++a) {
-    for (NodeId b = 0; b < positions_.size(); ++b) {
-      if (a != b && prr(a, b) > 0.0) neighbors_[a].push_back(b);
+  // Spatial-hash neighbor build: only nodes within outer_radius can have
+  // prr > 0, so bin positions into cells of that size and test the 3x3
+  // neighborhood — O(N x degree) instead of the all-pairs O(N^2) that
+  // dominated construction at 10k nodes. Candidates are gathered per cell
+  // and sorted, preserving the ascending-NodeId neighbor order the
+  // delivery loop's per-slot bookkeeping and RNG draw sequence depend on.
+  const std::size_t n = positions_.size();
+  neighbors_.resize(n);
+  if (n == 0) return;
+
+  const double cell = std::max(link_.outer_radius, 1e-9);
+  double min_x = positions_[0].x, min_y = positions_[0].y;
+  for (const auto& p : positions_) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+  }
+  const auto cell_of = [&](const Position& p) {
+    return std::pair<std::int64_t, std::int64_t>{
+        static_cast<std::int64_t>(std::floor((p.x - min_x) / cell)),
+        static_cast<std::int64_t>(std::floor((p.y - min_y) / cell))};
+  };
+
+  std::int64_t cols = 0, rows = 0;
+  for (const auto& p : positions_) {
+    const auto [cx, cy] = cell_of(p);
+    cols = std::max(cols, cx + 1);
+    rows = std::max(rows, cy + 1);
+  }
+
+  // Counting sort of nodes into cells (two passes, no per-cell vectors).
+  const std::size_t cell_count =
+      static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows);
+  std::vector<std::uint32_t> starts(cell_count + 1, 0);
+  std::vector<std::uint32_t> cell_index(n);
+  for (NodeId a = 0; a < n; ++a) {
+    const auto [cx, cy] = cell_of(positions_[a]);
+    cell_index[a] =
+        static_cast<std::uint32_t>(cy * cols + cx);
+    ++starts[cell_index[a] + 1];
+  }
+  for (std::size_t c = 0; c < cell_count; ++c) starts[c + 1] += starts[c];
+  std::vector<NodeId> by_cell(n);
+  {
+    std::vector<std::uint32_t> fill(starts.begin(), starts.end() - 1);
+    for (NodeId a = 0; a < n; ++a) by_cell[fill[cell_index[a]]++] = a;
+  }
+
+  for (NodeId a = 0; a < n; ++a) {
+    const auto [cx, cy] = cell_of(positions_[a]);
+    auto& out = neighbors_[a];
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const std::int64_t y = cy + dy;
+      if (y < 0 || y >= rows) continue;
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t x = cx + dx;
+        if (x < 0 || x >= cols) continue;
+        const std::size_t c = static_cast<std::size_t>(y * cols + x);
+        for (std::uint32_t i = starts[c]; i < starts[c + 1]; ++i) {
+          const NodeId b = by_cell[i];
+          if (b != a && prr(a, b) > 0.0) out.push_back(b);
+        }
+      }
     }
+    std::sort(out.begin(), out.end());
+  }
+  rebuild_prr_cache();
+}
+
+void Topology::rebuild_prr_cache() {
+  prr_cache_.resize(neighbors_.size());
+  for (NodeId a = 0; a < neighbors_.size(); ++a) {
+    const auto& nb = neighbors_[a];
+    auto& row = prr_cache_[a];
+    row.resize(nb.size());
+    for (std::size_t slot = 0; slot < nb.size(); ++slot)
+      row[slot] = prr(a, nb[slot]);
   }
 }
 
@@ -103,6 +176,7 @@ void Topology::set_prr_jitter(double magnitude, std::uint64_t seed) {
                 "prr jitter magnitude must be in [0, 1)");
   jitter_magnitude_ = magnitude;
   jitter_seed_ = seed;
+  rebuild_prr_cache();
 }
 
 bool Topology::connected() const {

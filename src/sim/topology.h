@@ -75,6 +75,15 @@ class Topology {
     return neighbors_[id];
   }
 
+  /// PRR of the directed link `id -> neighbors(id)[slot]`. Cached at
+  /// construction (and refreshed by set_prr_jitter), so the delivery loop —
+  /// which already walks neighbor slots — avoids recomputing the distance
+  /// curve and jitter hash per received frame. Values are the exact doubles
+  /// prr() returns, so the Bernoulli draws they feed are bit-identical.
+  double prr_by_slot(NodeId id, std::size_t slot) const {
+    return prr_cache_[id][slot];
+  }
+
   /// Mean neighbor count — densitometry for reporting.
   double mean_degree() const;
 
@@ -93,9 +102,12 @@ class Topology {
  private:
   Topology(std::vector<Position> positions, const LinkModel& link);
 
+  void rebuild_prr_cache();
+
   std::vector<Position> positions_;
   LinkModel link_;
   std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::vector<double>> prr_cache_;  // parallel to neighbors_
   double jitter_magnitude_ = 0.0;
   std::uint64_t jitter_seed_ = 0;
 };

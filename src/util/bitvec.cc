@@ -12,19 +12,6 @@ BitVec::BitVec(std::size_t size, bool value) : BitVec(size) {
   if (value) set_all();
 }
 
-bool BitVec::get(std::size_t i) const {
-  LRS_CHECK(i < size_);
-  return (words_[word_index(i)] & bit_mask(i)) != 0;
-}
-
-void BitVec::set(std::size_t i, bool value) {
-  LRS_CHECK(i < size_);
-  if (value)
-    words_[word_index(i)] |= bit_mask(i);
-  else
-    words_[word_index(i)] &= ~bit_mask(i);
-}
-
 void BitVec::set_all() {
   for (auto& w : words_) w = ~std::uint64_t{0};
   trim_tail();
@@ -103,9 +90,13 @@ Bytes BitVec::to_bytes() const {
 BitVec BitVec::from_bytes(ByteView bytes, std::size_t size) {
   LRS_CHECK(bytes.size() >= (size + 7) / 8);
   BitVec v(size);
-  for (std::size_t i = 0; i < size; ++i) {
-    if ((bytes[i / 8] >> (i % 8)) & 1u) v.set(i);
+  // Both layouts are little-endian (bit i lives at byte i/8, bit i%8; word
+  // i/64, bit i%64), so bytes assemble into words directly.
+  const std::size_t nbytes = (size + 7) / 8;
+  for (std::size_t b = 0; b < nbytes; ++b) {
+    v.words_[b / 8] |= static_cast<std::uint64_t>(bytes[b]) << (8 * (b % 8));
   }
+  v.trim_tail();
   return v;
 }
 

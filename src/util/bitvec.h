@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/types.h"
 
 namespace lrs {
@@ -26,8 +27,19 @@ class BitVec {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  bool get(std::size_t i) const;
-  void set(std::size_t i, bool value = true);
+  // get/set are inline: TX schedulers scan request bitmaps bit-by-bit in
+  // the simulation hot path.
+  bool get(std::size_t i) const {
+    LRS_CHECK(i < size_);
+    return (words_[word_index(i)] & bit_mask(i)) != 0;
+  }
+  void set(std::size_t i, bool value = true) {
+    LRS_CHECK(i < size_);
+    if (value)
+      words_[word_index(i)] |= bit_mask(i);
+    else
+      words_[word_index(i)] &= ~bit_mask(i);
+  }
   void clear(std::size_t i) { set(i, false); }
   void set_all();
   void clear_all();

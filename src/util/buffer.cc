@@ -6,73 +6,10 @@
 
 namespace lrs {
 
-void Writer::u8(std::uint8_t v) { out_.push_back(v); }
-
-void Writer::u16(std::uint16_t v) {
-  out_.push_back(static_cast<std::uint8_t>(v));
-  out_.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void Writer::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void Writer::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void Writer::bytes(ByteView b) { out_.insert(out_.end(), b.begin(), b.end()); }
-
 void Writer::sized_bytes(ByteView b) {
   LRS_CHECK(b.size() <= 0xffff);
   u16(static_cast<std::uint16_t>(b.size()));
   bytes(b);
-}
-
-std::optional<std::uint8_t> Reader::try_u8() {
-  if (remaining() < 1) return std::nullopt;
-  return data_[pos_++];
-}
-
-std::optional<std::uint16_t> Reader::try_u16() {
-  if (remaining() < 2) return std::nullopt;
-  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
-                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
-  pos_ += 2;
-  return v;
-}
-
-std::optional<std::uint32_t> Reader::try_u32() {
-  if (remaining() < 4) return std::nullopt;
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i)
-    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
-  pos_ += 4;
-  return v;
-}
-
-std::optional<std::uint64_t> Reader::try_u64() {
-  if (remaining() < 8) return std::nullopt;
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i)
-    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
-  pos_ += 8;
-  return v;
-}
-
-std::optional<Bytes> Reader::try_bytes(std::size_t n) {
-  if (remaining() < n) return std::nullopt;
-  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
-  pos_ += n;
-  return out;
-}
-
-std::optional<Bytes> Reader::try_sized_bytes() {
-  auto n = try_u16();
-  if (!n) return std::nullopt;
-  return try_bytes(*n);
 }
 
 namespace {

@@ -15,16 +15,28 @@
 
 namespace lrs {
 
+// The integer and byte primitives are defined inline: parse runs once per
+// delivered frame, which makes these the most frequently called functions
+// in a large simulation.
 class Writer {
  public:
   Writer() = default;
 
-  void u8(std::uint8_t v);
-  void u16(std::uint16_t v);
-  void u32(std::uint32_t v);
-  void u64(std::uint64_t v);
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
   /// Raw bytes, no length prefix.
-  void bytes(ByteView b);
+  void bytes(ByteView b) { out_.insert(out_.end(), b.begin(), b.end()); }
   /// u16 length prefix followed by the bytes.
   void sized_bytes(ByteView b);
 
@@ -40,14 +52,46 @@ class Reader {
  public:
   explicit Reader(ByteView data) : data_(data) {}
 
-  std::optional<std::uint8_t> try_u8();
-  std::optional<std::uint16_t> try_u16();
-  std::optional<std::uint32_t> try_u32();
-  std::optional<std::uint64_t> try_u64();
+  std::optional<std::uint8_t> try_u8() {
+    if (remaining() < 1) return std::nullopt;
+    return data_[pos_++];
+  }
+  std::optional<std::uint16_t> try_u16() {
+    if (remaining() < 2) return std::nullopt;
+    const std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                            static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+  std::optional<std::uint32_t> try_u32() {
+    if (remaining() < 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::optional<std::uint64_t> try_u64() {
+    if (remaining() < 8) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
   /// Next `n` raw bytes.
-  std::optional<Bytes> try_bytes(std::size_t n);
+  std::optional<Bytes> try_bytes(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
   /// u16 length prefix followed by that many bytes.
-  std::optional<Bytes> try_sized_bytes();
+  std::optional<Bytes> try_sized_bytes() {
+    const auto n = try_u16();
+    if (!n) return std::nullopt;
+    return try_bytes(*n);
+  }
 
   /// Throwing variants for internal deserialization where failure is a bug.
   std::uint8_t u8();

@@ -7,6 +7,7 @@
 
 #include <deque>
 #include <map>
+#include <set>
 
 #include "core/experiment.h"
 #include "core/lr_image.h"
@@ -40,17 +41,16 @@ class FakeEnv final : public sim::Env {
     sent.push_back({cls, std::move(frame)});
   }
 
-  sim::EventToken schedule(SimTime delay,
-                           std::function<void()> fn) override {
-    auto token = std::make_shared<bool>(false);
+  sim::EventToken schedule(SimTime delay, sim::EventFn fn) override {
+    const auto token = sim::EventToken::from_bits(++token_bits_);
     timers_.insert({{now_ + delay, seq_++}, {std::move(fn), token}});
     return token;
   }
 
   std::size_t pending_tx() const override { return 0; }  // radio always free
 
-  void cancel(const sim::EventToken& token) override {
-    if (token) *token = true;
+  void cancel(sim::EventToken token) override {
+    if (token) cancelled_.insert(token.bits());
   }
 
   Rng& rng() override { return rng_; }
@@ -65,7 +65,7 @@ class FakeEnv final : public sim::Env {
       auto [fn, token] = it->second;
       now_ = it->first.first;
       timers_.erase(it);
-      if (!*token) fn();
+      if (cancelled_.count(token.bits()) == 0) fn();
     }
     now_ = t;
   }
@@ -98,11 +98,13 @@ class FakeEnv final : public sim::Env {
   NodeId id_;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t token_bits_ = 0;
   Rng rng_{42};
   sim::NodeMetrics metrics_;
   std::map<std::pair<SimTime, std::uint64_t>,
-           std::pair<std::function<void()>, sim::EventToken>>
+           std::pair<sim::EventFn, sim::EventToken>>
       timers_;
+  std::set<std::uint64_t> cancelled_;
 };
 
 CommonParams small_params() {

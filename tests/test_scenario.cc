@@ -246,7 +246,7 @@ std::vector<std::string> library_paths() {
 
 TEST(ScenarioGoldenTest, EveryCheckedInScenarioRoundTrips) {
   const auto paths = library_paths();
-  ASSERT_GE(paths.size(), 8u) << "scenario library went missing";
+  ASSERT_GE(paths.size(), 10u) << "scenario library went missing";
   for (const auto& path : paths) {
     std::string error;
     const auto s = scenario::load_scenario_file(path, &error);

@@ -45,10 +45,21 @@ TEST(EventQueueTest, CancelledEventSkipped) {
   EventQueue q;
   bool ran = false;
   auto token = q.schedule_at(5, [&] { ran = true; });
-  EventQueue::cancel(token);
+  EXPECT_TRUE(q.cancel(token));
   while (q.run_next()) {
   }
   EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelReturnsFalseForNullAndStaleTokens) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventToken{}));
+  auto token = q.schedule_at(5, [] {});
+  EXPECT_TRUE(q.run_next());
+  EXPECT_FALSE(q.cancel(token));  // already fired
+  auto token2 = q.schedule_at(7, [] {});
+  EXPECT_TRUE(q.cancel(token2));
+  EXPECT_FALSE(q.cancel(token2));  // already cancelled
 }
 
 TEST(EventQueueTest, RunUntilStopsAtLimit) {
@@ -85,8 +96,109 @@ TEST(EventQueueTest, PeekSkipsCancelled) {
   EventQueue q;
   auto token = q.schedule_at(5, [] {});
   q.schedule_at(9, [] {});
-  EventQueue::cancel(token);
+  q.cancel(token);
   EXPECT_EQ(q.peek_time().value(), 9);
+}
+
+// pending() and empty() report exact live counts: scheduling increments,
+// firing and cancelling decrement immediately — lazily discarded queue
+// entries are never visible.
+TEST(EventQueueTest, PendingAndEmptyAreExact) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+
+  auto a = q.schedule_at(5, [] {});
+  auto b = q.schedule_at(10, [] {});
+  q.schedule_at(15, [] {});
+  EXPECT_EQ(q.pending(), 3u);
+
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(q.pending(), 2u);  // exact despite the stale entry still queued
+  EXPECT_FALSE(q.empty());
+
+  EXPECT_TRUE(q.run_next());
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.cancel(a));  // fired already; count unchanged
+  EXPECT_EQ(q.pending(), 1u);
+
+  EXPECT_TRUE(q.run_next());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.run_next());
+}
+
+// The peek/cancel/run contract: an event cancelled after peek_time()
+// reported it — but before run_next() — never fires; run_next() falls
+// through to the next live event, and run_until() never resurrects it.
+TEST(EventQueueTest, CancelBetweenPeekAndRunSuppressesTheEvent) {
+  EventQueue q;
+  std::vector<int> fired;
+  auto first = q.schedule_at(5, [&] { fired.push_back(5); });
+  q.schedule_at(9, [&] { fired.push_back(9); });
+
+  EXPECT_EQ(q.peek_time().value(), 5);  // reports the soon-to-be-cancelled
+  EXPECT_TRUE(q.cancel(first));
+  EXPECT_EQ(q.peek_time().value(), 9);
+
+  EXPECT_TRUE(q.run_next());  // skips the stale entry, fires 9
+  EXPECT_EQ(fired, (std::vector<int>{9}));
+  EXPECT_EQ(q.now(), 9);
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueueTest, RunUntilWithInterleavedCancels) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventToken> tokens;
+  for (int t = 1; t <= 8; ++t) {
+    tokens.push_back(q.schedule_at(t * 10, [&fired, t] { fired.push_back(t); }));
+  }
+  // Event 2 cancels 3 (later, same run window), event 4 cancels 7 (beyond
+  // the window), 1 is cancelled up front after a peek reported it.
+  EXPECT_EQ(q.peek_time().value(), 10);
+  q.cancel(tokens[0]);
+  q.schedule_at(20, [&] { q.cancel(tokens[2]); });
+  q.schedule_at(40, [&] { q.cancel(tokens[6]); });
+
+  EXPECT_EQ(q.run_until(50), 5u);  // events 2, 4, 5 + the two cancellers
+  EXPECT_EQ(fired, (std::vector<int>{2, 4, 5}));
+  EXPECT_EQ(q.now(), 50);
+  EXPECT_EQ(q.pending(), 2u);  // 6 and 8 remain; 7 is gone for good
+
+  EXPECT_EQ(q.run_until(100), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{2, 4, 5, 6, 8}));
+  // Queue drained: now() advances to the limit.
+  EXPECT_EQ(q.now(), 100);
+  EXPECT_TRUE(q.empty());
+}
+
+// Far-future events ride the overflow heap past the calendar's horizon and
+// still fire in exact (time, seq) order after the wheel re-anchors.
+TEST(EventQueueTest, FarFutureEventsPreserveOrderAcrossReanchor) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3600 * kSecond, [&] { order.push_back(4); });
+  q.schedule_at(2 * kSecond, [&] { order.push_back(1); });
+  q.schedule_at(3600 * kSecond, [&] { order.push_back(5); });  // same-time tie
+  q.schedule_at(60 * kSecond, [&] { order.push_back(2); });
+  q.schedule_at(600 * kSecond, [&] { order.push_back(3); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(q.now(), 3600 * kSecond);
+}
+
+TEST(EventQueueTest, SlotReuseDoesNotConfuseOldTokens) {
+  EventQueue q;
+  int fired = 0;
+  auto stale = q.schedule_at(1, [&] { ++fired; });
+  EXPECT_TRUE(q.run_next());  // slot is recycled...
+  auto fresh = q.schedule_at(2, [&] { ++fired; });
+  EXPECT_FALSE(q.cancel(stale));  // ...but the old token cannot touch it
+  EXPECT_TRUE(q.run_next());
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.cancel(fresh) == false);
 }
 
 // ---------------------------------------------------------------------------

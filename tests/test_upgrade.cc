@@ -67,13 +67,11 @@ class StaticEnv final : public sim::Env {
   sim::SimTime now() const override { return 0; }
   NodeId id() const override { return 5; }
   void broadcast(sim::PacketClass, Bytes) override {}
-  sim::EventToken schedule(sim::SimTime, std::function<void()>) override {
-    return std::make_shared<bool>(false);
+  sim::EventToken schedule(sim::SimTime, sim::EventFn) override {
+    return sim::EventToken::from_bits(++token_bits_);
   }
   std::size_t pending_tx() const override { return 0; }
-  void cancel(const sim::EventToken& t) override {
-    if (t) *t = true;
-  }
+  void cancel(sim::EventToken) override {}
   Rng& rng() override { return rng_; }
   sim::NodeMetrics& metrics() override { return metrics_; }
   void notify_complete() override {}
@@ -81,6 +79,7 @@ class StaticEnv final : public sim::Env {
  private:
   Rng rng_{1};
   sim::NodeMetrics metrics_;
+  std::uint64_t token_bits_ = 0;
 };
 
 DissemNode make_upgradable_node(sim::Env& env, const TwoImages& imgs) {
