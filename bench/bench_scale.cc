@@ -1,14 +1,15 @@
-// Simulator-core throughput trajectory (ISSUE 6 tentpole).
+// Simulator-core throughput trajectory (ISSUE 6 tentpole, extended with
+// the ISSUE 7 island rungs).
 //
-// Runs the scale ladder — the paper's two 225-node grids, the 2000-node
-// geometric mid-point and the 10000-node geometric headline — through the
-// deterministic trial runner and reports events/sec and peak RSS alongside
-// the protocol metrics. Invariant probing and tracing are forced off so the
+// Runs the scale ladder — the paper's two 225-node grids, the cells-1k
+// island-executor rung, the 2000- and 10000-node geometric deployments and
+// the 100000-node cells fleet — through the deterministic trial runner and
+// reports events/sec and peak RSS alongside the protocol metrics. Invariant probing and tracing are forced off so the
 // harness prices exactly the event core plus the protocol work, nothing
 // else.
 //
-//   ./bench_scale                 # full ladder (225 / 225 / 2k / 10k)
-//   ./bench_scale --quick         # CI tier: the grids + geo-2k
+//   ./bench_scale                 # full ladder (225 / 225 / 1k / 2k / 10k / 100k)
+//   ./bench_scale --quick         # CI tier: the grids + cells-1k + geo-2k
 //   ./bench_scale --scales=geo-10k
 //
 // Flags: --repeats=R (override each scenario's trial block), --jobs=J,
@@ -22,8 +23,10 @@
 // byte-identical for any worker count — CI diffs them serial vs LRS_JOBS.
 // The trailing wall_s / events_per_sec / peak_rss_mb columns are
 // machine-dependent timing and are excluded from determinism comparisons.
-// peak_rss_mb is the process high-water mark, so rows are meaningful in
-// ladder order (smallest first); the largest scale dominates.
+// peak_rss_mb is per rung: the kernel's RSS high-water mark is reset
+// (/proc/self/clear_refs) before each scenario and read back at KiB
+// resolution (VmHWM), so small rungs no longer inherit — and tie at — the
+// process-lifetime maximum of whatever ran before them.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -45,14 +48,38 @@
 namespace lrs {
 namespace {
 
-/// The ladder, smallest to largest — RSS is a process high-water mark, so
-/// ascending order keeps each row attributable to its own scale.
+/// The ladder, smallest to largest. cells-1k and geo-100k run through the
+/// island executor (islands = true in their trial blocks): one base per
+/// radio-isolated cell, simulated island-by-island on LRS_JOBS workers.
 const std::vector<std::string> kLadder = {
-    "grid15x15-tight", "grid15x15-medium", "geo-2k", "geo-10k"};
+    "grid15x15-tight", "grid15x15-medium", "cells-1k",
+    "geo-2k",          "geo-10k",          "geo-100k"};
 const std::vector<std::string> kQuickLadder = {
-    "grid15x15-tight", "grid15x15-medium", "geo-2k"};
+    "grid15x15-tight", "grid15x15-medium", "cells-1k", "geo-2k"};
 
+/// Resets the kernel's RSS high-water mark ("5" into /proc/self/clear_refs,
+/// proc(5)) so the next peak_rss_mb() call reports this rung's own peak
+/// rather than the process-lifetime maximum. Best-effort: a no-op on
+/// kernels without the file, where rows fall back to the monotonic maximum.
+void reset_peak_rss() {
+  std::ofstream f("/proc/self/clear_refs");
+  if (f) f << "5";
+}
+
+/// Peak RSS in MiB at KiB resolution: VmHWM from /proc/self/status (the
+/// value reset_peak_rss clears), falling back to getrusage's ru_maxrss.
 double peak_rss_mb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      try {
+        return std::stod(line.substr(6)) / 1024.0;  // KiB -> MiB
+      } catch (...) {
+        break;
+      }
+    }
+  }
   struct rusage ru{};
   getrusage(RUSAGE_SELF, &ru);
   return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
@@ -228,6 +255,7 @@ int run(int argc, char** argv) {
     // documents what "nodes" means radio-wise at this rung of the ladder.
     const double degree = sim::build_topology(config.topo_spec).mean_degree();
 
+    reset_peak_rss();
     const auto t0 = std::chrono::steady_clock::now();
     const auto trials = core::run_trials(config, repeats,
                                          static_cast<std::size_t>(jobs_flag));

@@ -2,9 +2,14 @@
 
 #include "core/run_trials.h"
 
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/lr_image.h"
+#include "core/parallel.h"
 #include "crypto/wots.h"
 #include "proto/deluge.h"
 #include "proto/engine.h"
@@ -13,6 +18,7 @@
 #include "proto/sluice.h"
 #include "proto/seluge.h"
 #include "sim/invariants.h"
+#include "sim/partition.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -44,30 +50,57 @@ Bytes make_test_image(std::size_t size, std::uint64_t seed) {
   return image;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  const Bytes image = make_test_image(config.image_size, config.seed);
+namespace {
 
-  // Key material: one signer for the whole deployment.
-  const Bytes key_seed{0x11, 0x22, 0x33, 0x44};
-  crypto::MultiKeySigner signer(view(key_seed), /*height=*/2);
-  const crypto::PacketHash root_pk = signer.root_public_key();
+/// The disseminating side consumes one of the signer's one-time keys per
+/// call (secure schemes sign the image's hash-tree root).
+std::unique_ptr<proto::SchemeState> make_source_scheme(
+    const ExperimentConfig& config, const Bytes& image,
+    crypto::MultiKeySigner& signer) {
+  switch (config.scheme) {
+    case Scheme::kDeluge:
+      return proto::make_deluge_source(config.params, image);
+    case Scheme::kRatelessDeluge:
+      return proto::make_rateless_source(config.params, image);
+    case Scheme::kSluice:
+      return proto::make_sluice_source(config.params, image, signer);
+    case Scheme::kSeluge:
+      return proto::make_seluge_source(config.params, image, signer);
+    case Scheme::kLrSeluge:
+      return make_lr_source(config.params, image, signer);
+  }
+  return nullptr;
+}
 
-  // One-hop cells are error-free at the link layer (paper §VI-A): the
-  // only losses are the application-layer drops of the loss model.
-  sim::Topology topology = [&config] {
-    switch (config.topo) {
-      case ExperimentConfig::Topo::kStar:
-        return sim::Topology::star(config.receivers);
-      case ExperimentConfig::Topo::kGrid:
-        return sim::Topology::grid(config.grid_rows, config.grid_cols,
-                                   config.grid_spacing, config.link);
-      case ExperimentConfig::Topo::kSpec:
-        return sim::build_topology(config.topo_spec);
-    }
-    LRS_CHECK_MSG(false, "unknown topology selector");
-  }();
-  const std::size_t node_count = topology.size();
-  const std::size_t receiver_count = node_count - 1;
+std::unique_ptr<proto::SchemeState> make_receiver_scheme(
+    const ExperimentConfig& config, std::size_t image_size,
+    const crypto::PacketHash& root_pk) {
+  switch (config.scheme) {
+    case Scheme::kDeluge:
+      return proto::make_deluge_receiver(config.params, image_size);
+    case Scheme::kRatelessDeluge:
+      return proto::make_rateless_receiver(config.params, image_size);
+    case Scheme::kSluice:
+      return proto::make_sluice_receiver(config.params, root_pk);
+    case Scheme::kSeluge:
+      return proto::make_seluge_receiver(config.params, root_pk);
+    case Scheme::kLrSeluge:
+      return make_lr_receiver(config.params, root_pk);
+  }
+  return nullptr;
+}
+
+/// Simulates one closed radio system — the whole network, or one island of
+/// it — to completion and extracts its metrics. `members` follows the
+/// Simulator contract: empty means every topology position; otherwise an
+/// ascending list closed under the radio graph, whose smallest id serves
+/// as the base station. `source` is the (pre-signed) disseminating scheme.
+ExperimentResult run_cell(const ExperimentConfig& config, const Bytes& image,
+                          const crypto::PacketHash& root_pk,
+                          std::shared_ptr<const sim::Topology> topology,
+                          std::vector<NodeId> members,
+                          std::unique_ptr<proto::SchemeState> source) {
+  const std::size_t node_count = topology->size();
 
   std::unique_ptr<sim::LossModel> loss;
   if (!config.per_node_loss.empty()) {
@@ -82,47 +115,37 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   sim::Simulator simulator(std::move(topology), std::move(loss), config.radio,
-                           config.seed);
-
-  auto make_scheme = [&](bool base) -> std::unique_ptr<proto::SchemeState> {
-    switch (config.scheme) {
-      case Scheme::kDeluge:
-        return base ? proto::make_deluge_source(config.params, image)
-                    : proto::make_deluge_receiver(config.params, image.size());
-      case Scheme::kRatelessDeluge:
-        return base
-                   ? proto::make_rateless_source(config.params, image)
-                   : proto::make_rateless_receiver(config.params, image.size());
-      case Scheme::kSluice:
-        return base ? proto::make_sluice_source(config.params, image, signer)
-                    : proto::make_sluice_receiver(config.params, root_pk);
-      case Scheme::kSeluge:
-        return base ? proto::make_seluge_source(config.params, image, signer)
-                    : proto::make_seluge_receiver(config.params, root_pk);
-      case Scheme::kLrSeluge:
-        return base ? make_lr_source(config.params, image, signer)
-                    : make_lr_receiver(config.params, root_pk);
-    }
-    return nullptr;
-  };
+                           config.seed, std::move(members));
+  // The simulated ids (all of them outside island mode), base first.
+  const std::vector<NodeId>& cell = simulator.members();
+  const NodeId base = cell.front();
+  const std::size_t receiver_count = cell.size() - 1;
 
   const bool insecure = config.scheme == Scheme::kDeluge ||
                         config.scheme == Scheme::kRatelessDeluge;
   const Bytes cluster_key = insecure ? Bytes{} : config.params.cluster_key;
+
+  // One receive-side verification memo for the whole (single-threaded)
+  // simulation: every node of this run shares keys and delivery serials,
+  // so the ~radio-degree receivers of each broadcast verify it once.
+  auto rx_memo = std::make_unique<proto::RxFanoutMemo>();
 
   proto::EngineConfig engine;
   engine.timing = config.timing;
   engine.dor_mitigation = config.dor_mitigation;
   engine.leap_snack_auth = config.params.leap_snack_auth && !insecure;
   engine.leap_master = config.params.leap_master;
+  engine.rx_memo = rx_memo.get();
 
   std::vector<proto::DissemNode*> nodes;
-  nodes.reserve(node_count);
-  for (std::size_t i = 0; i < node_count; ++i) {
+  nodes.reserve(cell.size());
+  for (const NodeId id : cell) {
     proto::EngineConfig cfg = engine;
-    cfg.is_base_station = i == 0;
+    cfg.is_base_station = id == base;
     nodes.push_back(&simulator.add_node<proto::DissemNode>(
-        make_scheme(i == 0), cfg, cluster_key));
+        id == base ? std::move(source)
+                   : make_receiver_scheme(config, image.size(), root_pk),
+        cfg, cluster_key));
   }
 
   if (config.faults.any()) {
@@ -171,8 +194,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       return sim::DataView{d->page, d->index};
     };
     observer = std::make_unique<sim::InvariantObserver>(std::move(ic));
-    for (std::size_t i = 0; i < node_count; ++i) {
-      proto::DissemNode* n = nodes[i];
+    for (std::size_t k = 0; k < cell.size(); ++k) {
+      proto::DissemNode* n = nodes[k];
       sim::NodeProbe probe;
       // Probe through the DissemNode on every call: scheme upgrades swap
       // the SchemeState underneath.
@@ -188,7 +211,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       probe.decode_threshold = [n](std::uint32_t p) {
         return n->scheme().decode_threshold(p);
       };
-      observer->attach(static_cast<NodeId>(i), std::move(probe));
+      observer->attach(cell[k], std::move(probe));
     }
     simulator.add_observer(observer.get());
   }
@@ -202,17 +225,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   auto& metrics = simulator.metrics();
   // completed_count is O(1) (Metrics keeps an exact counter) — this
   // predicate runs after every event, so it must not scan the node table.
-  const auto done = [&] { return metrics.completed_count(0) == receiver_count; };
+  const auto done = [&] {
+    return metrics.completed_count(base) == receiver_count;
+  };
   simulator.run(config.time_limit, done);
 
   ExperimentResult r;
   r.receivers = receiver_count;
-  r.completed = metrics.completed_count(0);
+  r.completed = metrics.completed_count(base);
   r.all_complete = r.completed == receiver_count;
 
   r.data_packets = metrics.total_sent(sim::PacketClass::kData);
-  for (NodeId i = 0; i < node_count; ++i)
-    r.page0_data_packets += metrics.node(i).page0_data_sent;
+  for (const NodeId i : cell) r.page0_data_packets += metrics.node(i).page0_data_sent;
   r.snack_packets = metrics.total_sent(sim::PacketClass::kSnack);
   r.adv_packets = metrics.total_sent(sim::PacketClass::kAdvertisement);
   r.sig_packets = metrics.total_sent(sim::PacketClass::kSignature);
@@ -228,23 +252,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.auth_failures = metrics.total_auth_failures();
 
   double tx_us = 0, rx_us = 0;
-  for (NodeId i = 0; i < node_count; ++i) {
+  for (const NodeId i : cell) {
     tx_us += static_cast<double>(metrics.node(i).tx_airtime_us);
     rx_us += static_cast<double>(metrics.node(i).rx_airtime_us);
   }
   r.tx_energy_mj = tx_us * 1e-6 * config.radio.tx_power_mw;
   r.rx_energy_mj = rx_us * 1e-6 * config.radio.rx_power_mw;
-  r.listen_energy_mj = static_cast<double>(node_count) * r.latency_s *
+  r.listen_energy_mj = static_cast<double>(cell.size()) * r.latency_s *
                        config.radio.rx_power_mw;
 
   r.images_match = true;
-  for (std::size_t i = 1; i < node_count; ++i) {
-    if (!nodes[i]->image_complete()) {
-      if (metrics.node(static_cast<NodeId>(i)).completion_time >= 0)
+  for (std::size_t k = 1; k < cell.size(); ++k) {
+    if (!nodes[k]->image_complete()) {
+      if (metrics.node(cell[k]).completion_time >= 0)
         r.images_match = false;  // inconsistent bookkeeping
       continue;
     }
-    if (nodes[i]->scheme().assemble_image() != image) r.images_match = false;
+    if (nodes[k]->scheme().assemble_image() != image) r.images_match = false;
   }
 
   r.tampered_frames = simulator.tampered_frames();
@@ -262,6 +286,119 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     sim::export_trace(*tracer, config.trace, node_count);
   }
   return r;
+}
+
+/// Folds per-island results (in island order) into one network-wide
+/// result. Counters add; latency is the slowest island's (dissemination
+/// runs everywhere concurrently); the idle-listening bound adds because
+/// every island's radios switch off at their own island's completion.
+ExperimentResult merge_islands(std::span<const ExperimentResult> parts) {
+  ExperimentResult m;
+  m.all_complete = true;
+  m.images_match = true;
+  for (const ExperimentResult& r : parts) {
+    m.all_complete = m.all_complete && r.all_complete;
+    m.images_match = m.images_match && r.images_match;
+    m.completed += r.completed;
+    m.receivers += r.receivers;
+    m.data_packets += r.data_packets;
+    m.page0_data_packets += r.page0_data_packets;
+    m.snack_packets += r.snack_packets;
+    m.adv_packets += r.adv_packets;
+    m.sig_packets += r.sig_packets;
+    m.total_bytes += r.total_bytes;
+    m.received_bytes += r.received_bytes;
+    m.latency_s = std::max(m.latency_s, r.latency_s);
+    m.collisions += r.collisions;
+    m.events_executed += r.events_executed;
+    m.hash_verifications += r.hash_verifications;
+    m.signature_verifications += r.signature_verifications;
+    m.auth_failures += r.auth_failures;
+    m.tx_energy_mj += r.tx_energy_mj;
+    m.rx_energy_mj += r.rx_energy_mj;
+    m.listen_energy_mj += r.listen_energy_mj;
+    m.tampered_frames += r.tampered_frames;
+    m.fault_drops += r.fault_drops;
+    m.reboots += r.reboots;
+    m.invariant_checks += r.invariant_checks;
+    m.invariant_violations += r.invariant_violations;
+    if (m.first_violation.empty() && !r.first_violation.empty()) {
+      m.first_violation = r.first_violation;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const Bytes image = make_test_image(config.image_size, config.seed);
+  const Bytes key_seed{0x11, 0x22, 0x33, 0x44};
+
+  // One-hop cells are error-free at the link layer (paper §VI-A): the
+  // only losses are the application-layer drops of the loss model.
+  auto topology = std::make_shared<const sim::Topology>([&config] {
+    switch (config.topo) {
+      case ExperimentConfig::Topo::kStar:
+        return sim::Topology::star(config.receivers);
+      case ExperimentConfig::Topo::kGrid:
+        return sim::Topology::grid(config.grid_rows, config.grid_cols,
+                                   config.grid_spacing, config.link);
+      case ExperimentConfig::Topo::kSpec:
+        return sim::build_topology(config.topo_spec);
+    }
+    LRS_CHECK_MSG(false, "unknown topology selector");
+  }());
+
+  if (config.islands) {
+    std::vector<std::vector<NodeId>> islands = sim::radio_islands(*topology);
+    if (islands.size() > 1) {
+      // Fault plans and trace exports are whole-network, single-stream
+      // concepts; the scenario layer rejects the combination up front.
+      LRS_CHECK_MSG(!config.faults.any(),
+                    "island mode does not support fault plans");
+      LRS_CHECK_MSG(!config.trace.enabled(),
+                    "island mode does not support tracing");
+
+      // Key material: still one signer (one preloaded root) for the whole
+      // deployment, but every island's base signs its own dissemination,
+      // so the one-time-key tree must cover the island count.
+      std::size_t height = 2;
+      while ((std::size_t{1} << height) < islands.size()) ++height;
+      crypto::MultiKeySigner signer(view(key_seed), height);
+      const crypto::PacketHash root_pk = signer.root_public_key();
+
+      // Pre-sign serially in island order: the signer hands out one-time
+      // keys in sequence, so the leaf -> island assignment must never
+      // depend on worker scheduling.
+      std::vector<std::unique_ptr<proto::SchemeState>> sources;
+      sources.reserve(islands.size());
+      for (std::size_t i = 0; i < islands.size(); ++i) {
+        sources.push_back(make_source_scheme(config, image, signer));
+      }
+
+      // Each worker builds, runs and destroys its island's simulator, so
+      // peak memory is jobs x one-island state, not islands x. Results land
+      // in island-indexed slots: byte-identical for any worker count.
+      std::vector<ExperimentResult> parts(islands.size());
+      const std::size_t jobs =
+          config.island_jobs != 0 ? config.island_jobs : default_jobs();
+      parallel_for(islands.size(), jobs, [&](std::size_t i) {
+        parts[i] = run_cell(config, image, root_pk, topology,
+                            std::move(islands[i]), std::move(sources[i]));
+      });
+      return merge_islands(parts);
+    }
+  }
+
+  // Classic single-simulator path (also: island mode on a connected
+  // topology, which is one island and must match this path exactly).
+  crypto::MultiKeySigner signer(view(key_seed), /*height=*/2);
+  const crypto::PacketHash root_pk = signer.root_public_key();
+  std::unique_ptr<proto::SchemeState> source =
+      make_source_scheme(config, image, signer);
+  return run_cell(config, image, root_pk, std::move(topology), {},
+                  std::move(source));
 }
 
 ExperimentResult run_experiment_avg(const ExperimentConfig& config,

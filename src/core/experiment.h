@@ -70,6 +70,15 @@ struct ExperimentConfig {
   // default; when enabled a TraceRecorder rides the observer chain and the
   // requested exports are written after the run.
   sim::TraceExportConfig trace{};
+
+  // Island-sharded execution (sim/partition.h): partition the topology
+  // into radio-connected components, give each its own base station (the
+  // island's smallest id) and simulate them independently on a worker
+  // pool. Deterministic — serial and parallel runs are byte-identical, and
+  // a connected topology (one island) takes the classic single-simulator
+  // path unchanged. Requires no fault plan and no tracing.
+  bool islands = false;
+  std::size_t island_jobs = 0;  // 0 = default_jobs() (LRS_JOBS)
 };
 
 struct ExperimentResult {

@@ -113,6 +113,12 @@ class LrSelugeState final : public proto::SchemeState {
 
   DataStatus on_data(std::uint32_t page, std::uint32_t index,
                      ByteView payload, sim::NodeMetrics& m) override {
+    return on_data(page, index, payload, m, nullptr);
+  }
+
+  DataStatus on_data(std::uint32_t page, std::uint32_t index,
+                     ByteView payload, sim::NodeMetrics& m,
+                     proto::RxDigestMemo* dig) override {
     if (!meta_) return DataStatus::kStale;  // cannot authenticate yet
     if (page != complete_pages_ || page > meta_->content_pages) {
       return DataStatus::kStale;
@@ -138,7 +144,7 @@ class LrSelugeState final : public proto::SchemeState {
       m.hash_verifications += 1;
       if (payload.size() != params_.payload_size ||
           !crypto::equal(
-              proto::data_packet_hash(params_.version, page, index, payload),
+              content_digest(page, index, payload, dig),
               current_hashes_[index])) {
         m.auth_failures += 1;
         return DataStatus::kRejected;
@@ -166,6 +172,12 @@ class LrSelugeState final : public proto::SchemeState {
   bool verify_stored_packet(std::uint32_t page, std::uint32_t index,
                             ByteView payload,
                             sim::NodeMetrics& m) const override {
+    return verify_stored_packet(page, index, payload, m, nullptr);
+  }
+
+  bool verify_stored_packet(std::uint32_t page, std::uint32_t index,
+                            ByteView payload, sim::NodeMetrics& m,
+                            proto::RxDigestMemo* dig) const override {
     if (!meta_ || page >= complete_pages_ || index >= packets_in_page(page))
       return false;
     if (page == 0) {
@@ -189,9 +201,24 @@ class LrSelugeState final : public proto::SchemeState {
       return false;
     }
     m.hash_verifications += 1;
-    return crypto::equal(
-        proto::data_packet_hash(params_.version, page, index, payload),
-        page_hashes_[page][index]);
+    return crypto::equal(content_digest(page, index, payload, dig),
+                         page_hashes_[page][index]);
+  }
+
+  /// Packet-content digest with the cross-receiver memo: the preimage is
+  /// identical for every receiver of one delivery, so the first computation
+  /// is shared. Accounting (hash_verifications) stays with the caller.
+  crypto::PacketHash content_digest(std::uint32_t page, std::uint32_t index,
+                                    ByteView payload,
+                                    proto::RxDigestMemo* dig) const {
+    if (dig && dig->valid) return dig->digest;
+    crypto::PacketHash h =
+        proto::data_packet_hash(params_.version, page, index, payload);
+    if (dig) {
+      dig->digest = h;
+      dig->valid = true;
+    }
+    return h;
   }
 
   bool needs_signature() const override { return true; }
@@ -215,7 +242,7 @@ class LrSelugeState final : public proto::SchemeState {
     auto cert =
         crypto::CertifiedSignature::deserialize(view(packet->signature));
     m.signature_verifications += 1;
-    if (!cert || !crypto::MultiKeySigner::verify(root_pk_, view(msg), *cert)) {
+    if (!cert || !crypto::verify_certified_cached(root_pk_, view(msg), *cert)) {
       m.auth_failures += 1;
       return false;
     }

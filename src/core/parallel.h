@@ -1,0 +1,63 @@
+// Minimal deterministic work-sharing primitive shared by the trial runner
+// (core/run_trials.cc) and the island executor (core/experiment.cc).
+//
+// The contract both callers rely on: the task for index i is fixed, only
+// the assignment of indices to threads is dynamic, and results are written
+// into index-addressed slots — so a parallel run is bit-identical to the
+// serial loop over 0..count-1.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lrs::core {
+
+/// Worker-thread count used when a `jobs` parameter is 0: the LRS_JOBS
+/// environment variable if set to a positive integer, else
+/// std::thread::hardware_concurrency() (minimum 1).
+std::size_t default_jobs();
+
+/// Runs `count` index-addressed tasks on up to `jobs` threads. Work is
+/// handed out through an atomic counter, so scheduling is dynamic but the
+/// task for index i is fixed; the first exception (by whichever worker
+/// hits one) is rethrown on the caller's thread after all workers join.
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t jobs, const Fn& fn) {
+  if (count == 0) return;
+  const std::size_t workers = jobs < count ? jobs : count;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr err;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace lrs::core

@@ -1,11 +1,9 @@
 #include "core/run_trials.h"
 
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <thread>
 
+#include "core/parallel.h"
 #include "util/check.h"
 
 namespace lrs::core {
@@ -21,49 +19,6 @@ std::size_t default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? hw : 1;
 }
-
-namespace {
-
-/// Runs `count` index-addressed tasks on up to `jobs` threads. Work is
-/// handed out through an atomic counter, so scheduling is dynamic but the
-/// task for index i is fixed; the first exception (by whichever worker
-/// hits one) is rethrown on the caller's thread after all workers join.
-template <typename Fn>
-void parallel_for(std::size_t count, std::size_t jobs, const Fn& fn) {
-  if (count == 0) return;
-  const std::size_t workers = jobs < count ? jobs : count;
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
-  std::exception_ptr err;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!err) err = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
-  worker();
-  for (auto& t : threads) t.join();
-  if (err) std::rethrow_exception(err);
-}
-
-}  // namespace
 
 std::vector<ExperimentResult> run_trials(const ExperimentConfig& config,
                                          std::size_t repeats,

@@ -14,13 +14,9 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/parallel.h"  // parallel_for + default_jobs
 
 namespace lrs::core {
-
-/// Worker-thread count used when `jobs == 0`: the LRS_JOBS environment
-/// variable if set to a positive integer, else std::thread::hardware_
-/// concurrency() (minimum 1).
-std::size_t default_jobs();
 
 /// Runs `repeats` independent trials of `config` with derived seeds
 /// (config.seed + i) on up to `jobs` threads (0 = default_jobs()).

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "crypto/hmac.h"
 #include "util/buffer.h"
@@ -180,6 +182,48 @@ bool MultiKeySigner::verify(const PacketHash& root_public_key,
   if (!equal(root, root_public_key)) return false;
   // 2. The WOTS signature must verify under that key.
   return WotsKeyPair::verify(sig.wots_pk, message, sig.sig);
+}
+
+bool verify_certified_cached(const PacketHash& root_public_key,
+                             ByteView message, const CertifiedSignature& sig) {
+  // Collision-resistant fingerprint of the full (root, message, signature)
+  // triple: two distinct verification questions cannot share a key.
+  Sha256 h;
+  h.update(ByteView(root_public_key.data(), root_public_key.size()));
+  Writer w;
+  w.u64(message.size());
+  w.u32(sig.key_index);
+  w.u8(static_cast<std::uint8_t>(sig.cert_path.size()));
+  h.update(view(w.data()));
+  h.update(message);
+  h.update(ByteView(sig.wots_pk.data(), sig.wots_pk.size()));
+  for (const auto& p : sig.cert_path) h.update(ByteView(p.data(), p.size()));
+  for (const auto& c : sig.sig.chains) h.update(ByteView(c.data(), c.size()));
+  const Sha256Digest key = h.finalize();
+
+  struct DigestHash {
+    std::size_t operator()(const Sha256Digest& d) const {
+      std::size_t v;
+      std::memcpy(&v, d.data(), sizeof(v));
+      return v;
+    }
+  };
+  static std::mutex mu;
+  static std::unordered_map<Sha256Digest, bool, DigestHash> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  const bool ok = MultiKeySigner::verify(root_public_key, message, sig);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    // A run only ever sees a handful of distinct signature packets; the cap
+    // is a leak guard for adversarial floods of forged signatures.
+    if (cache.size() >= 4096) cache.clear();
+    cache.emplace(key, ok);
+  }
+  return ok;
 }
 
 }  // namespace lrs::crypto

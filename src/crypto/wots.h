@@ -107,4 +107,15 @@ class MultiKeySigner {
   std::size_t next_ = 0;
 };
 
+/// Memoized MultiKeySigner::verify. The verdict is a pure function of
+/// (root_public_key, message, signature), and in a broadcast network
+/// thousands of receivers verify the *same* signature packet, so a
+/// process-wide cache keyed by a digest of the triple turns the ~2000-hash
+/// WOTS chain walk into one short hash plus a lookup after the first
+/// receiver. Thread-safe. Callers still count one signature verification
+/// per protocol-level check; only the redundant chain recomputation is
+/// elided, never the decision.
+bool verify_certified_cached(const PacketHash& root_public_key,
+                             ByteView message, const CertifiedSignature& sig);
+
 }  // namespace lrs::crypto

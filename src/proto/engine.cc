@@ -13,11 +13,20 @@ DissemNode::DissemNode(sim::Env& env, std::unique_ptr<SchemeState> scheme,
                        EngineConfig config, Bytes cluster_key)
     : sim::Node(env),
       scheme_(std::move(scheme)),
-      cfg_(config),
-      cluster_key_(std::move(cluster_key)),
-      trickle_(cfg_.timing.trickle, &env.rng()) {
+      rx_memo_(config.rx_memo),
+      trickle_(config.timing.trickle, &env.rng()),
+      cfg_(std::move(config)),
+      cluster_key_(std::move(cluster_key)) {
   LRS_CHECK(scheme_ != nullptr);
+  refresh_scheme_view();
   if (!cluster_key_.empty()) cluster_mac_.emplace(view(cluster_key_));
+}
+
+void DissemNode::refresh_scheme_view() {
+  version_ = scheme_->version();
+  pages_complete_ = scheme_->pages_complete();
+  bootstrapped_ = scheme_->bootstrapped();
+  complete_ = scheme_->image_complete();
 }
 
 const crypto::HmacKey* DissemNode::snack_tx_mac() {
@@ -38,6 +47,44 @@ const crypto::HmacKey& DissemNode::snack_rx_mac(NodeId sender) {
     it = leap_rx_macs_.emplace(sender, crypto::HmacKey(view(key))).first;
   }
   return it->second;
+}
+
+DissemNode::NeighborInfo& DissemNode::neighbor(NodeId id) {
+  auto it = std::lower_bound(
+      neighbors_.begin(), neighbors_.end(), id,
+      [](const NeighborEntry& e, NodeId v) { return e.id < v; });
+  if (it == neighbors_.end() || it->id != id) {
+    it = neighbors_.insert(it, NeighborEntry{id, {}});
+  }
+  return it->info;
+}
+
+void DissemNode::forget_neighbor(NodeId id) {
+  auto it = std::lower_bound(
+      neighbors_.begin(), neighbors_.end(), id,
+      [](const NeighborEntry& e, NodeId v) { return e.id < v; });
+  if (it != neighbors_.end() && it->id == id) neighbors_.erase(it);
+}
+
+std::size_t& DissemNode::dor_counter(NodeId sender, std::uint32_t page) {
+  const auto key = std::make_pair(sender, page);
+  auto it = std::lower_bound(
+      dor_counters_.begin(), dor_counters_.end(), key,
+      [](const DorEntry& e, const std::pair<NodeId, std::uint32_t>& k) {
+        return std::make_pair(e.sender, e.page) < k;
+      });
+  if (it == dor_counters_.end() || it->sender != sender || it->page != page) {
+    it = dor_counters_.insert(it, DorEntry{sender, page, 0});
+  }
+  return it->used;
+}
+
+TxScheduler* DissemNode::tx_session(std::uint32_t page) {
+  auto it = std::lower_bound(
+      tx_sessions_.begin(), tx_sessions_.end(), page,
+      [](const auto& e, std::uint32_t p) { return e.first < p; });
+  if (it == tx_sessions_.end() || it->first != page) return nullptr;
+  return it->second.get();
 }
 
 SimTime DissemNode::rand_delay(SimTime max) {
@@ -64,7 +111,7 @@ void DissemNode::note_auth_failure(sim::PacketClass cls) {
 
 void DissemNode::on_start() {
   if (cfg_.is_base_station) {
-    if (scheme_->image_complete()) env().notify_complete();
+    if (complete_) env().notify_complete();
     if (scheme_->signature_frame().has_value()) {
       env().schedule(cfg_.timing.signature_boot_delay, [this] {
         maybe_broadcast_signature();
@@ -79,6 +126,7 @@ void DissemNode::on_reboot() {
   // persisted frontier survives inside it), and every timer, session and
   // neighbor table is gone with the RAM.
   scheme_->on_reboot();
+  refresh_scheme_view();
   reset_protocol_state();
   trickle_restart();
   consider_rx();
@@ -113,13 +161,21 @@ void DissemNode::on_adv_interval_end() {
 
 void DissemNode::send_advertisement() {
   Advertisement adv;
-  adv.version = scheme_->version();
+  adv.version = version_;
   adv.sender = env().id();
-  adv.pages_complete = scheme_->pages_complete();
-  adv.bootstrapped = scheme_->bootstrapped();
-  env().broadcast(sim::PacketClass::kAdvertisement,
-                  cluster_mac_ ? adv.serialize(*cluster_mac_)
-                               : adv.serialize(ByteView{}));
+  adv.pages_complete = pages_complete_;
+  adv.bootstrapped = bootstrapped_;
+  // The serialized frame (including its MAC) is a pure function of these
+  // fields, and Trickle re-announces an unchanged state many times between
+  // changes — rebuild only when the advertised state moved.
+  if (adv_frame_.empty() || adv_cached_.version != adv.version ||
+      adv_cached_.pages_complete != adv.pages_complete ||
+      adv_cached_.bootstrapped != adv.bootstrapped) {
+    adv_cached_ = adv;
+    adv_frame_ = cluster_mac_ ? adv.serialize(*cluster_mac_)
+                              : adv.serialize(ByteView{});
+  }
+  env().broadcast(sim::PacketClass::kAdvertisement, adv_frame_);
 }
 
 // --------------------------------------------------------------------------
@@ -129,19 +185,37 @@ void DissemNode::send_advertisement() {
 void DissemNode::on_receive(ByteView frame) {
   const auto type = peek_type(frame);
   if (!type) return;
+  // With a memo wired and a live delivery serial, the first receiver of a
+  // broadcast frame parses/verifies it and the rest of the fan-out reuses
+  // the outcome. All per-receiver decisions (version checks, metric
+  // charges, auth-failure accounting) stay below this point.
+  RxFanoutMemo* memo = rx_memo_;
+  const std::uint64_t serial = memo ? env().delivery_serial() : 0;
   switch (*type) {
     case PacketType::kAdvertisement: {
-      auto adv = cluster_mac_ ? Advertisement::parse(frame, *cluster_mac_)
+      const Advertisement* adv = nullptr;
+      std::optional<Advertisement> parsed;
+      if (serial != 0 && memo->adv_serial == serial) {
+        if (memo->adv_ok) adv = &memo->adv;
+      } else {
+        parsed = cluster_mac_ ? Advertisement::parse(frame, *cluster_mac_)
                               : Advertisement::parse(frame, ByteView{});
+        if (serial != 0) {
+          memo->adv_serial = serial;
+          memo->adv_ok = parsed.has_value();
+          if (parsed) memo->adv = *parsed;
+        }
+        if (parsed) adv = &*parsed;
+      }
       if (!adv) {
         env().metrics().auth_failures += 1;
         note_auth_failure(sim::PacketClass::kAdvertisement);
         return;
       }
-      if (adv->version != scheme_->version()) {
+      if (adv->version != version_) {
         // A neighbor runs a NEWER image: fetch its signature packet to
         // verify and adopt it (never move backwards).
-        if (cfg_.scheme_factory && adv->version > scheme_->version() &&
+        if (cfg_.scheme_factory && adv->version > version_ &&
             adv->bootstrapped) {
           trickle_restart();
           request_signature_from(adv->sender, adv->version);
@@ -152,19 +226,32 @@ void DissemNode::on_receive(ByteView frame) {
       return;
     }
     case PacketType::kSnack: {
-      // Under LEAP-style auth the MAC key is the claimed sender's own key,
-      // so a verified SNACK also authenticates WHO sent it.
-      std::optional<Snack> snack;
-      if (cfg_.leap_snack_auth) {
-        const auto sender = Snack::peek_sender(frame);
-        if (!sender) return;
-        snack = Snack::parse(frame, snack_rx_mac(*sender));
-      } else if (cluster_mac_) {
-        snack = Snack::parse(frame, *cluster_mac_);
+      const Snack* snack = nullptr;
+      std::optional<Snack> parsed;
+      if (serial != 0 && memo->snack_serial == serial) {
+        if (memo->snack_ok) snack = &memo->snack;
       } else {
-        snack = Snack::parse(frame, ByteView{});
+        // Under LEAP-style auth the MAC key is the claimed sender's own
+        // key, so a verified SNACK also authenticates WHO sent it. The
+        // key schedule is sender-derived either way, which is what makes
+        // the parse outcome shareable across receivers.
+        if (cfg_.leap_snack_auth) {
+          const auto sender = Snack::peek_sender(frame);
+          if (!sender) return;
+          parsed = Snack::parse(frame, snack_rx_mac(*sender));
+        } else if (cluster_mac_) {
+          parsed = Snack::parse(frame, *cluster_mac_);
+        } else {
+          parsed = Snack::parse(frame, ByteView{});
+        }
+        if (serial != 0) {
+          memo->snack_serial = serial;
+          memo->snack_ok = parsed.has_value();
+          if (parsed) memo->snack = *parsed;
+        }
+        if (parsed) snack = &*parsed;
       }
-      if (!snack || snack->version != scheme_->version()) {
+      if (!snack || snack->version != version_) {
         if (!snack) {
           env().metrics().auth_failures += 1;
           note_auth_failure(sim::PacketClass::kSnack);
@@ -175,9 +262,21 @@ void DissemNode::on_receive(ByteView frame) {
       return;
     }
     case PacketType::kData: {
-      auto data = DataPacket::parse(frame);
-      if (!data || data->version != scheme_->version()) return;
-      handle_data(*data);
+      const DataPacket* data = nullptr;
+      std::optional<DataPacket> parsed;
+      if (serial != 0 && memo->data_serial == serial) {
+        if (memo->data_ok) data = &memo->data;
+      } else {
+        parsed = DataPacket::parse(frame);
+        if (serial != 0) {
+          memo->data_serial = serial;
+          memo->data_ok = parsed.has_value();
+          if (parsed) memo->data = *parsed;
+        }
+        if (parsed) data = &*parsed;
+      }
+      if (!data || data->version != version_) return;
+      handle_data(*data, serial);
       return;
     }
     case PacketType::kSignature:
@@ -191,25 +290,25 @@ void DissemNode::on_receive(ByteView frame) {
 // --------------------------------------------------------------------------
 
 void DissemNode::handle_advertisement(const Advertisement& adv) {
-  auto& info = neighbors_[adv.sender];
+  auto& info = neighbor(adv.sender);
   info.pages_complete = adv.pages_complete;
   info.bootstrapped = adv.bootstrapped;
   info.last_heard = env().now();
 
-  const std::uint32_t mine = scheme_->pages_complete();
+  const std::uint32_t mine = pages_complete_;
   const bool consistent = adv.pages_complete == mine &&
-                          adv.bootstrapped == scheme_->bootstrapped();
+                          adv.bootstrapped == bootstrapped_;
   if (consistent) {
     trickle_.heard_consistent();
   } else {
     trickle_restart();
   }
 
-  if (!scheme_->bootstrapped()) {
+  if (!bootstrapped_) {
     if (adv.bootstrapped) maybe_request_signature();
     return;
   }
-  if (adv.pages_complete > mine && !scheme_->image_complete()) consider_rx();
+  if (adv.pages_complete > mine && !complete_) consider_rx();
 }
 
 // --------------------------------------------------------------------------
@@ -218,8 +317,8 @@ void DissemNode::handle_advertisement(const Advertisement& adv) {
 
 void DissemNode::consider_rx() {
   if (state_ != NodeState::kMaintain) return;
-  if (scheme_->image_complete()) return;
-  if (!scheme_->bootstrapped()) {
+  if (complete_) return;
+  if (!bootstrapped_) {
     maybe_request_signature();
     return;
   }
@@ -227,13 +326,13 @@ void DissemNode::consider_rx() {
 }
 
 std::optional<NodeId> DissemNode::pick_server() const {
-  const std::uint32_t mine = scheme_->pages_complete();
+  const std::uint32_t mine = pages_complete_;
   std::optional<NodeId> best;
   std::uint32_t best_pages = mine;
-  for (const auto& [id, info] : neighbors_) {
-    if (info.pages_complete > best_pages) {
-      best = id;
-      best_pages = info.pages_complete;
+  for (const auto& e : neighbors_) {
+    if (e.info.pages_complete > best_pages) {
+      best = e.id;
+      best_pages = e.info.pages_complete;
     }
   }
   return best;
@@ -264,13 +363,13 @@ void DissemNode::arm_snack(SimTime delay) {
 
 void DissemNode::send_snack() {
   if (state_ != NodeState::kRx) return;
-  if (scheme_->image_complete()) {
+  if (complete_) {
     leave_rx();
     return;
   }
-  const std::uint32_t page = scheme_->pages_complete();
+  const std::uint32_t page = pages_complete_;
   Snack s;
-  s.version = scheme_->version();
+  s.version = version_;
   s.sender = env().id();
   s.target = rx_target_;
   s.page = page;
@@ -288,14 +387,14 @@ void DissemNode::send_snack() {
 
 void DissemNode::on_snack_retry() {
   if (state_ != NodeState::kRx) return;
-  if (scheme_->image_complete()) {
+  if (complete_) {
     leave_rx();
     return;
   }
   ++rx_retries_;
   if (rx_retries_ > cfg_.timing.max_snack_retries) {
     // Give up on this server; drop its stale entry and look for another.
-    neighbors_.erase(rx_target_);
+    forget_neighbor(rx_target_);
     leave_rx();
     trickle_restart();
     consider_rx();
@@ -320,7 +419,7 @@ void DissemNode::handle_snack(const Snack& snack) {
     // request for the SAME page needs no suppression — the server merges
     // concurrent requests into one burst.
     if (state_ == NodeState::kRx && rx_token_ &&
-        snack.page < scheme_->pages_complete()) {
+        snack.page < pages_complete_) {
       arm_snack(cfg_.timing.lockstep_delay +
                 rand_delay(cfg_.timing.snack_retry_jitter));
     }
@@ -328,7 +427,7 @@ void DissemNode::handle_snack(const Snack& snack) {
   }
 
   // Addressed to us: can we serve the page?
-  if (snack.page >= scheme_->pages_complete()) return;
+  if (snack.page >= pages_complete_) return;
   if (snack.requested.size() != scheme_->packets_in_page(snack.page)) return;
   if (snack.requested.none()) return;
 
@@ -340,7 +439,7 @@ void DissemNode::handle_snack(const Snack& snack) {
   const std::size_t needed =
       q + kprime > npkts ? q + kprime - npkts : std::size_t{1};
   if (cfg_.dor_mitigation) {
-    auto& used = dor_counters_[{snack.sender, snack.page}];
+    auto& used = dor_counter(snack.sender, snack.page);
     const std::size_t limit = cfg_.dor_limit_factor * kprime;
     if (used >= limit) {
       env().metrics().snacks_ignored += 1;
@@ -362,12 +461,19 @@ void DissemNode::begin_or_merge_tx(const Snack& snack) {
   const std::size_t needed =
       q + kprime > npkts ? q + kprime - npkts : std::size_t{1};
 
-  auto& session = tx_sessions_[snack.page];
-  if (!session) {
-    session = scheme_->make_scheduler(snack.page);
-    if (auto it = serve_rotation_.find(snack.page);
-        it != serve_rotation_.end()) {
-      session->set_start(it->second);
+  TxScheduler* session = tx_session(snack.page);
+  if (session == nullptr) {
+    auto it = std::lower_bound(
+        tx_sessions_.begin(), tx_sessions_.end(), snack.page,
+        [](const auto& e, std::uint32_t p) { return e.first < p; });
+    it = tx_sessions_.emplace(it, snack.page,
+                              scheme_->make_scheduler(snack.page));
+    session = it->second.get();
+    const auto rot = std::lower_bound(
+        serve_rotation_.begin(), serve_rotation_.end(), snack.page,
+        [](const auto& e, std::uint32_t p) { return e.first < p; });
+    if (rot != serve_rotation_.end() && rot->first == snack.page) {
+      session->set_start(rot->second);
     }
   }
   session->on_snack(snack.sender, snack.requested, needed);
@@ -401,7 +507,7 @@ void DissemNode::serve_next() {
   std::optional<std::uint32_t> idx;
   std::uint32_t page = 0;
   while (!tx_sessions_.empty()) {
-    auto it = tx_sessions_.begin();
+    auto it = tx_sessions_.begin();  // lowest page: vector sorted by page
     idx = it->second->next_packet();
     if (idx) {
       page = it->first;
@@ -416,12 +522,20 @@ void DissemNode::serve_next() {
   auto payload = scheme_->packet_payload(page, *idx);
   LRS_CHECK_MSG(payload.has_value(), "serving a page we do not have");
   DataPacket d;
-  d.version = scheme_->version();
+  d.version = version_;
   d.page = page;
   d.index = *idx;
   d.payload = *std::move(payload);
-  serve_rotation_[page] =
+  const std::uint32_t next_rot =
       (*idx + 1) % static_cast<std::uint32_t>(scheme_->packets_in_page(page));
+  auto rot = std::lower_bound(
+      serve_rotation_.begin(), serve_rotation_.end(), page,
+      [](const auto& e, std::uint32_t p) { return e.first < p; });
+  if (rot != serve_rotation_.end() && rot->first == page) {
+    rot->second = next_rot;
+  } else {
+    serve_rotation_.emplace(rot, page, next_rot);
+  }
   LRS_LOG(kDebug) << "node " << env().id() << " serves page " << page
                   << " idx " << d.index << " t=" << env().now();
   if (page == 0) env().metrics().page0_data_sent += 1;
@@ -438,7 +552,7 @@ void DissemNode::leave_tx() {
   tx_token_ = {};
   tx_sessions_.clear();
   set_state(NodeState::kMaintain);
-  if (rx_pending_resume_ && !scheme_->image_complete()) {
+  if (rx_pending_resume_ && !complete_) {
     rx_pending_resume_ = false;
     consider_rx();
   } else {
@@ -450,17 +564,33 @@ void DissemNode::leave_tx() {
 // Data
 // --------------------------------------------------------------------------
 
-void DissemNode::handle_data(const DataPacket& data) {
+void DissemNode::handle_data(const DataPacket& data, std::uint64_t serial) {
   // TX-side data suppression: another server is covering this page.
   if (state_ == NodeState::kTx) {
-    if (auto it = tx_sessions_.find(data.page); it != tx_sessions_.end()) {
-      it->second->on_overheard_data(data.index);
+    if (TxScheduler* session = tx_session(data.page)) {
+      session->on_overheard_data(data.index);
     }
+  }
+
+  // Share the packet-content digest across this delivery's fan-out: the
+  // engine owns the serial bookkeeping, the scheme fills/reuses the digest.
+  RxDigestMemo* dig = nullptr;
+  if (serial != 0) {
+    RxFanoutMemo& m = *rx_memo_;
+    if (m.digest_serial != serial) {
+      m.digest_serial = serial;
+      m.digest.valid = false;
+    }
+    dig = &m.digest;
   }
 
   const DataStatus status =
       scheme_->on_data(data.page, data.index, view(data.payload),
-                       env().metrics());
+                       env().metrics(), dig);
+  if (status == DataStatus::kPageComplete ||
+      status == DataStatus::kImageComplete) {
+    refresh_scheme_view();
+  }
   LRS_LOG(kTrace) << "node " << env().id() << " data page " << data.page
                   << " idx " << data.index << " status "
                   << static_cast<int>(status) << " t=" << env().now();
@@ -473,21 +603,21 @@ void DissemNode::handle_data(const DataPacket& data) {
     if (status == DataStatus::kPageComplete ||
         status == DataStatus::kImageComplete) {
       o->on_page_complete(env().now(), env().id(), data.page,
-                          scheme_->pages_complete());
+                          pages_complete_);
     }
   }
 
   if (state_ == NodeState::kRx) {
-    if (data.page == scheme_->pages_complete() &&
+    if (data.page == pages_complete_ &&
         (status == DataStatus::kStored || status == DataStatus::kStale)) {
       // The stream is flowing: plan to re-request the remainder shortly
       // after it goes quiet (losses mean the burst rarely completes us).
       arm_snack(cfg_.timing.stream_gap +
                 rand_delay(cfg_.timing.stream_gap_jitter));
-    } else if (data.page < scheme_->pages_complete() &&
+    } else if (data.page < pages_complete_ &&
                scheme_->verify_stored_packet(data.page, data.index,
                                              view(data.payload),
-                                             env().metrics())) {
+                                             env().metrics(), dig)) {
       // AUTHENTIC data for an EARLIER page: a straggling neighbor is being
       // served. Requesting our next page now would fragment the server's
       // bursts; hold back so the neighborhood advances in lockstep. Forged
@@ -512,17 +642,19 @@ void DissemNode::handle_data(const DataPacket& data) {
 
 void DissemNode::on_progress() {
   trickle_restart();
-  if (scheme_->image_complete()) {
+  if (complete_) {
     if (state_ == NodeState::kRx) leave_rx();
     return;
   }
   if (state_ == NodeState::kRx) {
     // Keep pulling the next page, ideally from the same server.
     rx_retries_ = 0;
-    const auto it = neighbors_.find(rx_target_);
+    const auto it = std::lower_bound(
+        neighbors_.begin(), neighbors_.end(), rx_target_,
+        [](const NeighborEntry& e, NodeId v) { return e.id < v; });
     const bool target_still_ahead =
-        it != neighbors_.end() &&
-        it->second.pages_complete > scheme_->pages_complete();
+        it != neighbors_.end() && it->id == rx_target_ &&
+        it->info.pages_complete > pages_complete_;
     if (target_still_ahead) {
       arm_snack(rand_delay(cfg_.timing.snack_delay_max));
     } else {
@@ -537,17 +669,30 @@ void DissemNode::on_progress() {
 // --------------------------------------------------------------------------
 
 void DissemNode::maybe_request_signature() {
-  if (scheme_->bootstrapped() || sig_request_armed_) return;
-  // Need a bootstrapped neighbor to ask.
+  if (bootstrapped_ || sig_request_armed_) return;
+  // Need a bootstrapped neighbor to ask. Walk the candidates in
+  // first-heard order, but skip ahead one candidate for every
+  // kSigTargetRotate requests that have gone unanswered: the first-heard
+  // neighbor can sit behind a link too weak to carry the request or the
+  // reply, and asking only it would strand the node (liveness, not just
+  // latency — the advertisement that registered it may be the only frame
+  // that link ever delivers).
+  std::uint32_t bootstrapped = 0;
+  for (const auto& e : neighbors_) bootstrapped += e.info.bootstrapped;
+  if (bootstrapped == 0) return;
+  std::uint32_t skip =
+      (sig_requests_unanswered_ / kSigTargetRotate) % bootstrapped;
   std::optional<NodeId> target;
-  for (const auto& [id, info] : neighbors_) {
-    if (info.bootstrapped) {
-      target = id;
-      break;
+  for (const auto& e : neighbors_) {
+    if (!e.info.bootstrapped) continue;
+    if (skip > 0) {
+      --skip;
+      continue;
     }
+    target = e.id;
+    break;
   }
-  if (!target) return;
-  request_signature_from(*target, scheme_->version());
+  request_signature_from(*target, version_);
 }
 
 void DissemNode::request_signature_from(NodeId target, Version version) {
@@ -560,7 +705,8 @@ void DissemNode::request_signature_from(NodeId target, Version version) {
         sig_request_armed_ = false;
         // Still behind? (Either not bootstrapped, or the newer version has
         // not been adopted yet.)
-        if (scheme_->version() >= version && scheme_->bootstrapped()) return;
+        if (version_ >= version && bootstrapped_) return;
+        ++sig_requests_unanswered_;
         Snack s;
         s.version = version;
         s.sender = env().id();
@@ -591,7 +737,7 @@ void DissemNode::handle_signature_frame(ByteView frame) {
   // the current image (downgrade protection).
   if (cfg_.scheme_factory) {
     const auto packet = SignaturePacket::parse(frame);
-    if (packet && packet->meta.version > scheme_->version()) {
+    if (packet && packet->meta.version > version_) {
       auto candidate = cfg_.scheme_factory(packet->meta.version);
       if (candidate && candidate->on_signature(frame, env().metrics())) {
         adopt_scheme(std::move(candidate));
@@ -599,8 +745,10 @@ void DissemNode::handle_signature_frame(ByteView frame) {
       return;
     }
   }
-  if (!scheme_->needs_signature() || scheme_->bootstrapped()) return;
+  if (!scheme_->needs_signature() || bootstrapped_) return;
   if (scheme_->on_signature(frame, env().metrics())) {
+    sig_requests_unanswered_ = 0;
+    refresh_scheme_view();
     trickle_restart();
     consider_rx();
   }
@@ -608,7 +756,7 @@ void DissemNode::handle_signature_frame(ByteView frame) {
 
 void DissemNode::upgrade(std::unique_ptr<SchemeState> next) {
   LRS_CHECK_MSG(next != nullptr, "upgrade needs a scheme");
-  LRS_CHECK_MSG(next->version() > scheme_->version(),
+  LRS_CHECK_MSG(next->version() > version_,
                 "image versions only move forward");
   adopt_scheme(std::move(next));
   if (cfg_.is_base_station && scheme_->signature_frame().has_value()) {
@@ -619,6 +767,7 @@ void DissemNode::upgrade(std::unique_ptr<SchemeState> next) {
 
 void DissemNode::adopt_scheme(std::unique_ptr<SchemeState> next) {
   scheme_ = std::move(next);
+  refresh_scheme_view();
   reset_protocol_state();
   trickle_restart();
   consider_rx();
@@ -637,6 +786,7 @@ void DissemNode::reset_protocol_state() {
   rx_retries_ = 0;
   sig_request_armed_ = false;
   last_sig_broadcast_ = -1;
+  sig_requests_unanswered_ = 0;
   neighbors_.clear();      // stale: they referred to the old version
   dor_counters_.clear();
   serve_rotation_.clear();

@@ -12,7 +12,8 @@
 
 namespace lrs::proto {
 
-class SchemeState;  // proto/scheme.h
+class SchemeState;   // proto/scheme.h
+struct RxFanoutMemo; // proto/engine.h
 
 /// Geometry and crypto parameters preloaded on every node before deployment
 /// (paper §IV-B): the erasure-code instances, packet sizes and keys. Only
@@ -116,6 +117,12 @@ struct EngineConfig {
   /// stop honoring SNACKs after `dor_limit_factor * k'` requested packets.
   bool dor_mitigation = true;
   std::size_t dor_limit_factor = 8;
+
+  /// Shared receive-side verification memo, one per simulator (nullable,
+  /// not owned; wired by the experiment harness). Lets the nodes of one
+  /// single-threaded simulation verify each broadcast frame once per
+  /// transmission instead of once per receiver. See RxFanoutMemo.
+  RxFanoutMemo* rx_memo = nullptr;
 };
 
 }  // namespace lrs::proto

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "crypto/hash.h"
 #include "proto/scheduler.h"
 #include "sim/metrics.h"
 #include "util/bitvec.h"
@@ -25,6 +26,17 @@ enum class DataStatus {
   kStored,         // authenticated and buffered
   kPageComplete,   // this packet completed (decoded) the current page
   kImageComplete,  // this packet completed the whole image
+};
+
+/// Cached digest of one data packet's hash preimage, shared across the
+/// receivers of a single broadcast delivery (see RxFanoutMemo in engine.h).
+/// The engine resets `valid` whenever the delivery serial changes; schemes
+/// fill it the first time they hash the packet and reuse it afterwards.
+/// Verification *decisions* and hash_verifications accounting stay
+/// per-receiver — only the recomputation of an identical digest is elided.
+struct RxDigestMemo {
+  bool valid = false;
+  crypto::PacketHash digest{};
 };
 
 class SchemeState {
@@ -68,6 +80,17 @@ class SchemeState {
   virtual DataStatus on_data(std::uint32_t page, std::uint32_t index,
                              ByteView payload, sim::NodeMetrics& m) = 0;
 
+  /// Memo-aware overload: `digest` (nullable) caches the packet-content
+  /// digest across the receivers of one broadcast delivery. Schemes whose
+  /// authentication is a per-packet content hash override this to reuse
+  /// the digest; the default ignores the memo.
+  virtual DataStatus on_data(std::uint32_t page, std::uint32_t index,
+                             ByteView payload, sim::NodeMetrics& m,
+                             RxDigestMemo* digest) {
+    (void)digest;
+    return on_data(page, index, payload, m);
+  }
+
   /// Checks whether a packet of an ALREADY-COMPLETE page is authentic
   /// (one hash against the stored hash chain). The engine uses this to
   /// distinguish genuine straggler service (worth holding our own request
@@ -76,6 +99,14 @@ class SchemeState {
   virtual bool verify_stored_packet(std::uint32_t page, std::uint32_t index,
                                     ByteView payload,
                                     sim::NodeMetrics& m) const = 0;
+
+  /// Memo-aware overload of verify_stored_packet (see on_data above).
+  virtual bool verify_stored_packet(std::uint32_t page, std::uint32_t index,
+                                    ByteView payload, sim::NodeMetrics& m,
+                                    RxDigestMemo* digest) const {
+    (void)digest;
+    return verify_stored_packet(page, index, payload, m);
+  }
 
   // --- bootstrap (signature packet) ----------------------------------------
   /// Whether data packets are useless until a signature packet verified.

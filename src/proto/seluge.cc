@@ -123,12 +123,18 @@ class SelugeState final : public SchemeState {
 
   DataStatus on_data(std::uint32_t page, std::uint32_t index,
                      ByteView payload, sim::NodeMetrics& m) override {
+    return on_data(page, index, payload, m, nullptr);
+  }
+
+  DataStatus on_data(std::uint32_t page, std::uint32_t index,
+                     ByteView payload, sim::NodeMetrics& m,
+                     RxDigestMemo* dig) override {
     if (!meta_) return DataStatus::kStale;  // cannot authenticate yet
     if (page != complete_pages_ || page > meta_->content_pages) {
       return DataStatus::kStale;
     }
     return page == 0 ? on_hash_page_data(index, payload, m)
-                     : on_content_data(page, index, payload, m);
+                     : on_content_data(page, index, payload, m, dig);
   }
 
   // --- signature --------------------------------------------------------------
@@ -136,6 +142,12 @@ class SelugeState final : public SchemeState {
   bool verify_stored_packet(std::uint32_t page, std::uint32_t index,
                             ByteView payload,
                             sim::NodeMetrics& m) const override {
+    return verify_stored_packet(page, index, payload, m, nullptr);
+  }
+
+  bool verify_stored_packet(std::uint32_t page, std::uint32_t index,
+                            ByteView payload, sim::NodeMetrics& m,
+                            RxDigestMemo* dig) const override {
     if (!meta_ || page >= complete_pages_) return false;
     if (page == 0) {
       const std::size_t depth = merkle_depth();
@@ -157,9 +169,8 @@ class SelugeState final : public SchemeState {
     if (index >= params_.k || payload.size() != params_.payload_size)
       return false;
     m.hash_verifications += 1;
-    return crypto::equal(
-        data_packet_hash(params_.version, page, index, payload),
-        expected_hashes_[page][index]);
+    return crypto::equal(content_digest(page, index, payload, dig),
+                         expected_hashes_[page][index]);
   }
 
   bool needs_signature() const override { return true; }
@@ -183,7 +194,7 @@ class SelugeState final : public SchemeState {
     }
     auto cert = crypto::CertifiedSignature::deserialize(view(packet->signature));
     m.signature_verifications += 1;
-    if (!cert || !crypto::MultiKeySigner::verify(root_pk_, view(msg), *cert)) {
+    if (!cert || !crypto::verify_certified_cached(root_pk_, view(msg), *cert)) {
       m.auth_failures += 1;
       return false;
     }
@@ -306,7 +317,8 @@ class SelugeState final : public SchemeState {
   }
 
   DataStatus on_content_data(std::uint32_t page, std::uint32_t index,
-                             ByteView payload, sim::NodeMetrics& m) {
+                             ByteView payload, sim::NodeMetrics& m,
+                             RxDigestMemo* dig) {
     if (index >= params_.k || payload.size() != params_.payload_size) {
       m.auth_failures += 1;
       return DataStatus::kRejected;
@@ -315,7 +327,7 @@ class SelugeState final : public SchemeState {
     if (slot.has_value()) return DataStatus::kStale;
 
     m.hash_verifications += 1;
-    if (!crypto::equal(data_packet_hash(params_.version, page, index, payload),
+    if (!crypto::equal(content_digest(page, index, payload, dig),
                        expected_hashes_[page][index])) {
       m.auth_failures += 1;
       return DataStatus::kRejected;
@@ -329,6 +341,21 @@ class SelugeState final : public SchemeState {
                               : DataStatus::kPageComplete;
     }
     return DataStatus::kStored;
+  }
+
+  /// Packet-content digest with the cross-receiver memo (see RxDigestMemo):
+  /// the preimage is identical for every receiver of one delivery, so only
+  /// the first receiver computes it. hash_verifications stays per-caller.
+  crypto::PacketHash content_digest(std::uint32_t page, std::uint32_t index,
+                                    ByteView payload, RxDigestMemo* dig) const {
+    if (dig && dig->valid) return dig->digest;
+    crypto::PacketHash h =
+        data_packet_hash(params_.version, page, index, payload);
+    if (dig) {
+      dig->digest = h;
+      dig->valid = true;
+    }
+    return h;
   }
 
   void extract_next_hashes(std::uint32_t page) {

@@ -152,7 +152,7 @@ class SluiceState final : public SchemeState {
     auto cert =
         crypto::CertifiedSignature::deserialize(view(packet->signature));
     m.signature_verifications += 1;
-    if (!cert || !crypto::MultiKeySigner::verify(root_pk_, view(msg), *cert)) {
+    if (!cert || !crypto::verify_certified_cached(root_pk_, view(msg), *cert)) {
       m.auth_failures += 1;
       return false;
     }

@@ -35,7 +35,7 @@ void EventQueue::push_ref(const Ref& r) {
                    [](const Ref& a, const Ref& b) { return a.after(b); });
     return;
   }
-  const auto b = static_cast<std::size_t>(offset / kBucketWidth);
+  const auto b = static_cast<std::size_t>(offset >> kBucketWidthBits);
   LRS_DCHECK(b < kBuckets);
   auto& bucket = buckets_[b];
   bucket.push_back(r);
@@ -135,7 +135,7 @@ EventQueue::Ref EventQueue::pop_earliest() {
   // schedule again, so base_ <= now() keeps holding.
   LRS_DCHECK(!overflow_.empty() && is_live(overflow_.front()));
   const SimTime head = overflow_.front().time;
-  base_ = head - (head % kBucketWidth);
+  base_ = head & ~(kBucketWidth - 1);
   cursor_ = 0;
   while (!overflow_.empty() && overflow_.front().time - base_ < kSpan) {
     std::pop_heap(overflow_.begin(), overflow_.end(), after);

@@ -1,0 +1,37 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+
+namespace lrs::sim {
+
+std::vector<std::vector<NodeId>> radio_islands(const Topology& t) {
+  const std::size_t n = t.size();
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<std::vector<NodeId>> islands;
+  std::vector<NodeId> frontier;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    // BFS from the lowest unvisited id; the seed order makes island order
+    // (by smallest member) automatic.
+    std::vector<NodeId> members;
+    visited[start] = 1;
+    frontier.clear();
+    frontier.push_back(static_cast<NodeId>(start));
+    members.push_back(static_cast<NodeId>(start));
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.back();
+      frontier.pop_back();
+      for (const NodeId next : t.neighbors(cur)) {
+        if (visited[next]) continue;
+        visited[next] = 1;
+        frontier.push_back(next);
+        members.push_back(next);
+      }
+    }
+    std::sort(members.begin(), members.end());
+    islands.push_back(std::move(members));
+  }
+  return islands;
+}
+
+}  // namespace lrs::sim

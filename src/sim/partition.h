@@ -1,0 +1,31 @@
+// Topology partitioning for island-sharded simulation.
+//
+// An *island* is a maximal radio-connected component of the topology: no
+// frame, carrier or collision can ever cross between two islands, so each
+// one is a closed discrete-event system. The island executor
+// (core/experiment.cc) simulates islands independently — serially or on a
+// worker pool — and merges their metrics in island order, which is what
+// makes serial and LRS_JOBS=N runs byte-identical: every island's event
+// stream, rng draws and metrics are a pure function of (topology, seed,
+// island membership), none of which depend on scheduling.
+//
+// Determinism contract:
+//  - islands are ordered by their smallest NodeId (ascending), and
+//  - each island's member list is sorted ascending,
+// so the decomposition of a topology is a pure function of its adjacency
+// and never of traversal timing.
+#pragma once
+
+#include <vector>
+
+#include "sim/topology.h"
+#include "util/types.h"
+
+namespace lrs::sim {
+
+/// Radio-connected components of `t`, each sorted ascending, ordered by
+/// smallest member id. A connected topology yields exactly one island
+/// containing every node.
+std::vector<std::vector<NodeId>> radio_islands(const Topology& t);
+
+}  // namespace lrs::sim

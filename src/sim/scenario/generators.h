@@ -25,6 +25,7 @@ enum class TopologyKind {
   kClustered,        // `clusters` hotspots of nodes in width x height
   kLine,             // corridor: `nodes` in a row, `spacing` apart
   kRing,             // `nodes` on a circle of `radius`
+  kCells,            // rows x cols radio-isolated geometric cells (islands)
 };
 
 const char* topology_kind_name(TopologyKind k);
@@ -40,7 +41,15 @@ bool topology_kind_from_name(const std::string& name, TopologyKind* out);
 ///                     seed, link
 ///   kLine             nodes, spacing, link
 ///   kRing             nodes, radius, link
+///   kCells            nodes, rows, cols, width, height, seed, link
 /// prr_jitter (with jitter_seed) applies to every kind.
+///
+/// kCells models a fleet of independent deployments: a rows x cols lattice
+/// of cells, each holding nodes / (rows*cols) nodes placed as a connected
+/// random-geometric cluster in its own width x height area. Cell areas are
+/// separated by two outer radii, so no radio link (and no carrier) crosses
+/// cells — every cell is one island for the island-parallel executor, with
+/// node ids cell-major (cell c owns ids [c*per_cell, (c+1)*per_cell)).
 struct TopologySpec {
   TopologyKind kind = TopologyKind::kStar;
 

@@ -212,6 +212,22 @@ std::string validate_scenario(Scenario& s) {
       if (t.nodes < 2) return "[topology] ring needs nodes >= 2";
       if (t.radius <= 0.0) return "[topology] radius must be positive";
       break;
+    case sim::TopologyKind::kCells: {
+      const std::size_t cells = t.rows * t.cols;
+      if (t.rows < 1 || t.cols < 1) {
+        return "[topology] cells needs rows >= 1 and cols >= 1";
+      }
+      if (t.nodes % cells != 0) {
+        return "[topology] cells needs nodes divisible by rows x cols";
+      }
+      if (t.nodes / cells < 2) {
+        return "[topology] cells needs at least two nodes per cell";
+      }
+      if (t.width <= 0.0 || t.height <= 0.0) {
+        return "[topology] width/height must be positive";
+      }
+      break;
+    }
   }
   if (t.link.connected_radius <= 0.0 ||
       t.link.outer_radius <= t.link.connected_radius) {
@@ -298,6 +314,11 @@ std::string validate_scenario(Scenario& s) {
 
   if (s.repeats < 1) return "[trial] repeats must be >= 1";
   if (s.time_limit_s <= 0.0) return "[trial] time_limit_s must be positive";
+  if (s.islands && (f.any() || !s.late_joiners.empty() ||
+                    !s.early_sleepers.empty())) {
+    return "[trial] islands = true is incompatible with [faults] (fault "
+           "plans are whole-network schedules)";
+  }
 
   const auto crash_less = [](const sim::CrashEvent& a,
                              const sim::CrashEvent& b) {
@@ -480,6 +501,7 @@ struct Parser {
     if (key == "check_invariants") {
       return parse_bool(value, &s.check_invariants);
     }
+    if (key == "islands") return parse_bool(value, &s.islands);
     return unknown_key(key);
   }
 
@@ -518,7 +540,13 @@ bool channel_model_from_name(const std::string& name,
 }
 
 std::size_t Scenario::expected_complete() const {
-  const std::size_t receivers = topo.node_count() - 1;
+  // Under island execution every radio-connected component has its own base
+  // station. All scenario topology kinds are connected by construction
+  // except kCells, whose island count is exactly its cell count.
+  const std::size_t bases =
+      islands && topo.kind == sim::TopologyKind::kCells ? topo.rows * topo.cols
+                                                        : 1;
+  const std::size_t receivers = topo.node_count() - bases;
   // Early sleepers cannot be *expected* to finish (they might, if they
   // sleep late enough — this is the guaranteed floor).
   std::set<NodeId> asleep;
@@ -651,6 +679,13 @@ std::string canonical_scenario(const Scenario& s) {
       os << "nodes = " << t.nodes << "\n";
       os << "radius = " << fmt_f64(t.radius) << "\n";
       break;
+    case sim::TopologyKind::kCells:
+      os << "nodes = " << t.nodes << "\n";
+      os << "rows = " << t.rows << "\n";
+      os << "cols = " << t.cols << "\n";
+      os << "width = " << fmt_f64(t.width) << "\n";
+      os << "height = " << fmt_f64(t.height) << "\n";
+      break;
   }
   os << "seed = " << t.seed << "\n";
   os << "connected_radius = " << fmt_f64(t.link.connected_radius) << "\n";
@@ -737,6 +772,7 @@ std::string canonical_scenario(const Scenario& s) {
   os << "time_limit_s = " << fmt_f64(s.time_limit_s) << "\n";
   os << "check_invariants = " << (s.check_invariants ? "true" : "false")
      << "\n";
+  if (s.islands) os << "islands = true\n";
   return os.str();
 }
 
@@ -800,6 +836,7 @@ core::ExperimentConfig scenario_config(const Scenario& s) {
   c.seed = s.seed;
   c.time_limit = sim::from_seconds(s.time_limit_s);
   c.check_invariants = s.check_invariants;
+  c.islands = s.islands;
 
   // Paper-scale Trickle constants (bench/common.h paper_config); small
   // scenarios converge faster but stay correct under them.

@@ -98,8 +98,16 @@ struct Scenario {
   std::uint64_t seed = 1;
   double time_limit_s = 4.0 * 3600.0;
   bool check_invariants = true;
+  /// Island-sharded execution (core/experiment.cc): each radio-connected
+  /// component gets its own base station (the island's smallest id) and is
+  /// simulated independently, optionally on LRS_JOBS workers. Deterministic:
+  /// serial and parallel runs produce byte-identical results. Incompatible
+  /// with [faults] (fault plans are whole-network schedules).
+  bool islands = false;
   /// Receivers expected to finish (campaign pass criterion). Default — all
   /// receivers minus the early sleepers, which by construction cannot.
+  /// Under `islands` every island contributes its own base, so a cells
+  /// topology expects node_count - rows*cols completions.
   std::size_t expected_complete() const;
 };
 

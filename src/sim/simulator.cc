@@ -8,7 +8,7 @@
 namespace lrs::sim {
 
 namespace {
-/// "No transmission" sentinel for NodeState::rx_tx pool indices.
+/// "No transmission" sentinel for RadioCard::rx_tx pool indices.
 constexpr std::uint32_t kNoTx = 0xffffffffu;
 }  // namespace
 
@@ -22,15 +22,9 @@ struct Simulator::Transmission {
   std::vector<std::uint8_t> corrupted;
 };
 
-struct Simulator::NodeState {
-  // MAC queue: frames waiting for the channel. A vector-backed FIFO (pop =
-  // advance tx_head) whose storage is recycled once drained, so steady-
-  // state queueing never reallocates.
-  std::vector<std::pair<PacketClass, Bytes>> tx_queue;
-  std::size_t tx_head = 0;
-  bool attempt_scheduled = false;
-  bool transmitting = false;
-  SimTime backoff_window = 0;
+/// The 16-byte hot radio state the carrier/collision loops walk — four
+/// neighbors per cache line.
+struct Simulator::RadioCard {
   // Frame this node's receiver is currently locked onto: pool index of the
   // transmission plus this node's slot in its corrupted vector. Always a
   // live transmission — every reference is cleared before the end event
@@ -38,8 +32,20 @@ struct Simulator::NodeState {
   std::uint32_t rx_tx = kNoTx;
   std::uint32_t rx_slot = 0;
   // Number of active transmissions whose carrier reaches this node.
-  int carrier_count = 0;
-  Rng rng{0};
+  std::int32_t carrier_count = 0;
+  std::uint8_t transmitting = 0;
+  std::uint8_t attempt_scheduled = 0;
+};
+
+/// Cold per-node MAC state, touched only when this node itself queues or
+/// sends frames.
+struct Simulator::MacState {
+  // MAC queue: frames waiting for the channel. A vector-backed FIFO (pop =
+  // advance tx_head) whose storage is recycled once drained, so steady-
+  // state queueing never reallocates.
+  std::vector<std::pair<PacketClass, Bytes>> tx_queue;
+  std::size_t tx_head = 0;
+  SimTime backoff_window = 0;
 
   std::size_t queued() const { return tx_queue.size() - tx_head; }
 };
@@ -64,17 +70,21 @@ class Simulator::SimEnv final : public Env {
   void cancel(EventToken token) override { sim_->queue_.cancel(token); }
 
   std::size_t pending_tx() const override {
-    const auto& st = sim_->states_[id_];
-    return st.queued() + (st.transmitting ? 1 : 0);
+    return sim_->macs_[id_].queued() +
+           (sim_->cards_[id_].transmitting ? 1 : 0);
   }
 
-  Rng& rng() override { return sim_->states_[id_].rng; }
+  Rng& rng() override { return sim_->rngs_[id_]; }
   NodeMetrics& metrics() override { return sim_->metrics_->node(id_); }
 
   void notify_complete() override {
     if (sim_->metrics_->record_completion(id_, now()) && sim_->observer_) {
       sim_->observer_->on_node_complete(now(), id_);
     }
+  }
+
+  std::uint64_t delivery_serial() const override {
+    return sim_->delivery_serial_;
   }
 
  private:
@@ -84,14 +94,40 @@ class Simulator::SimEnv final : public Env {
 
 Simulator::Simulator(Topology topology, std::unique_ptr<LossModel> loss,
                      RadioParams radio, std::uint64_t seed)
+    : Simulator(std::make_shared<const Topology>(std::move(topology)),
+                std::move(loss), radio, seed) {}
+
+Simulator::Simulator(std::shared_ptr<const Topology> topology,
+                     std::unique_ptr<LossModel> loss, RadioParams radio,
+                     std::uint64_t seed, std::vector<NodeId> members)
     : topology_(std::move(topology)),
       loss_(std::move(loss)),
       radio_(radio),
       rng_(seed),
-      metrics_(std::make_unique<Metrics>(topology_.size())) {
+      metrics_(std::make_unique<Metrics>(topology_->size())),
+      members_(std::move(members)) {
   LRS_CHECK(loss_ != nullptr);
-  states_.resize(topology_.size());
-  for (auto& s : states_) s.rng = rng_.fork();
+  const std::size_t n = topology_->size();
+  cards_.resize(n);
+  macs_.resize(n);
+  // Rng streams are forked for every topology position in id order even in
+  // island mode, so a member node's stream does not depend on how the
+  // topology was partitioned.
+  rngs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rngs_.push_back(rng_.fork());
+  envs_.resize(n);
+  nodes_.resize(n);
+  if (members_.empty()) {
+    members_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) members_[i] = static_cast<NodeId>(i);
+  } else {
+    LRS_CHECK(std::is_sorted(members_.begin(), members_.end()));
+    is_member_.assign(n, 0);
+    for (NodeId m : members_) {
+      LRS_CHECK(m < n);
+      is_member_[m] = 1;
+    }
+  }
 }
 
 Simulator::~Simulator() = default;
@@ -108,30 +144,35 @@ void Simulator::add_observer(SimObserver* observer) {
   observer_ = fanout_.sole() != nullptr ? fanout_.sole() : &fanout_;
 }
 
-Env& Simulator::make_env() {
-  LRS_CHECK_MSG(envs_.size() < topology_.size(),
-                "more nodes than topology positions");
-  envs_.push_back(
-      std::make_unique<SimEnv>(this, static_cast<NodeId>(envs_.size())));
-  return *envs_.back();
+NodeId Simulator::next_node_id() const {
+  LRS_CHECK_MSG(added_ < members_.size(),
+                "more nodes than simulated topology positions");
+  return members_[added_];
 }
 
-void Simulator::attach(std::unique_ptr<Node> node) {
+Env& Simulator::make_env(NodeId id) {
+  envs_[id] = std::make_unique<SimEnv>(this, id);
+  return *envs_[id];
+}
+
+void Simulator::attach(NodeId id, std::unique_ptr<Node> node) {
   LRS_CHECK(!started_);
-  nodes_.push_back(std::move(node));
+  nodes_[id] = std::move(node);
+  ++added_;
 }
 
 void Simulator::start_if_needed() {
   if (started_) return;
   started_ = true;
-  LRS_CHECK_MSG(nodes_.size() == topology_.size(),
-                "every topology position needs a node before run()");
-  for (auto& node : nodes_) {
-    queue_.schedule_at(0, [n = node.get()] { n->on_start(); });
+  LRS_CHECK_MSG(added_ == members_.size(),
+                "every simulated topology position needs a node before run()");
+  for (NodeId id : members_) {
+    queue_.schedule_at(0, [n = nodes_[id].get()] { n->on_start(); });
   }
   if (fault_) {
     for (const auto& e : fault_->crash_events()) {
       LRS_CHECK(e.node < nodes_.size());
+      if (!is_member_.empty() && !is_member_[e.node]) continue;
       queue_.schedule_at(e.at + e.downtime, [this, node = e.node] {
         ++reboots_;
         LRS_LOG(kDebug) << "REBOOT node " << node << " at " << queue_.now();
@@ -173,72 +214,74 @@ void Simulator::enqueue_frame(NodeId sender, PacketClass cls, Bytes frame) {
     ++fault_drops_;
     return;
   }
-  auto& st = states_[sender];
-  st.tx_queue.emplace_back(cls, std::move(frame));
-  if (!st.attempt_scheduled && !st.transmitting) {
+  auto& mac = macs_[sender];
+  auto& card = cards_[sender];
+  mac.tx_queue.emplace_back(cls, std::move(frame));
+  if (!card.attempt_scheduled && !card.transmitting) {
     // Fresh contention: small random initial backoff for fairness.
     schedule_attempt(sender, radio_.backoff_initial +
-                                 static_cast<SimTime>(st.rng.uniform(
+                                 static_cast<SimTime>(rngs_[sender].uniform(
                                      static_cast<std::uint64_t>(
                                          radio_.backoff_window))));
-    st.backoff_window = radio_.backoff_window;
+    mac.backoff_window = radio_.backoff_window;
   }
 }
 
 void Simulator::schedule_attempt(NodeId sender, SimTime delay) {
-  auto& st = states_[sender];
-  st.attempt_scheduled = true;
+  cards_[sender].attempt_scheduled = 1;
   queue_.schedule_at(queue_.now() + delay,
                      [this, sender] { attempt_send(sender); });
 }
 
 bool Simulator::carrier_busy(NodeId sender) const {
-  const auto& st = states_[sender];
-  return st.carrier_count > 0 || st.rx_tx != kNoTx;
+  const auto& card = cards_[sender];
+  return card.carrier_count > 0 || card.rx_tx != kNoTx;
 }
 
 void Simulator::attempt_send(NodeId sender) {
-  auto& st = states_[sender];
-  st.attempt_scheduled = false;
-  if (st.queued() == 0 || st.transmitting) return;
+  auto& mac = macs_[sender];
+  auto& card = cards_[sender];
+  card.attempt_scheduled = 0;
+  if (mac.queued() == 0 || card.transmitting) return;
   if (fault_ && fault_->is_down(sender, queue_.now())) {
     // The node crashed with frames queued: the MAC queue dies with it.
-    fault_drops_ += st.queued();
-    st.tx_queue.clear();
-    st.tx_head = 0;
+    fault_drops_ += mac.queued();
+    mac.tx_queue.clear();
+    mac.tx_head = 0;
     return;
   }
 
   if (carrier_busy(sender)) {
     // Binary exponential backoff.
-    st.backoff_window =
-        std::min(st.backoff_window * 2, radio_.backoff_window_max);
-    schedule_attempt(sender, static_cast<SimTime>(st.rng.uniform(
-                         static_cast<std::uint64_t>(st.backoff_window))) +
+    mac.backoff_window =
+        std::min(mac.backoff_window * 2, radio_.backoff_window_max);
+    schedule_attempt(sender, static_cast<SimTime>(rngs_[sender].uniform(
+                         static_cast<std::uint64_t>(mac.backoff_window))) +
                          radio_.backoff_initial);
     return;
   }
-  st.backoff_window = radio_.backoff_window;
+  mac.backoff_window = radio_.backoff_window;
   begin_transmission(sender);
 }
 
 void Simulator::begin_transmission(NodeId sender) {
-  auto& st = states_[sender];
+  auto& mac = macs_[sender];
+  auto& card = cards_[sender];
   const std::uint32_t ti = acquire_tx();
   Transmission& tx = tx_pool_[ti];
-  auto& [cls, frame] = st.tx_queue[st.tx_head];
+  auto& [cls, frame] = mac.tx_queue[mac.tx_head];
   tx.sender = sender;
   tx.cls = cls;
   tx.frame = std::move(frame);
-  if (++st.tx_head == st.tx_queue.size()) {
-    st.tx_queue.clear();  // keeps capacity; the FIFO storage is recycled
-    st.tx_head = 0;
+  if (++mac.tx_head == mac.tx_queue.size()) {
+    mac.tx_queue.clear();  // keeps capacity; the FIFO storage is recycled
+    mac.tx_head = 0;
   }
 
   const SimTime duration = radio_.airtime(tx.frame.size());
   const SimTime end = queue_.now() + duration;
 
-  const auto& neighbors = topology_.neighbors(sender);
+  const auto& neighbors = topology_->neighbors(sender);
   tx.corrupted.assign(neighbors.size(), 0);
 
   metrics_->record_send(sender, tx.cls, tx.frame.size());
@@ -250,33 +293,33 @@ void Simulator::begin_transmission(NodeId sender) {
   LRS_LOG(kTrace) << "TX node " << sender << " class "
                   << packet_class_name(tx.cls) << " start " << queue_.now()
                   << " end " << end;
-  st.transmitting = true;
+  card.transmitting = 1;
 
   // Half-duplex: starting to transmit aborts any in-progress reception.
-  if (st.rx_tx != kNoTx) {
-    tx_pool_[st.rx_tx].corrupted[st.rx_slot] = 1;
-    st.rx_tx = kNoTx;
+  if (card.rx_tx != kNoTx) {
+    tx_pool_[card.rx_tx].corrupted[card.rx_slot] = 1;
+    card.rx_tx = kNoTx;
     ++collisions_;
   }
 
   for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
     const NodeId r = neighbors[slot];
-    auto& rs = states_[r];
-    ++rs.carrier_count;
-    if (rs.transmitting) {
+    auto& rc = cards_[r];
+    ++rc.carrier_count;
+    if (rc.transmitting) {
       // Receiver is busy talking: it misses this frame entirely.
       tx.corrupted[slot] = 1;
       continue;
     }
-    if (rs.rx_tx != kNoTx) {
+    if (rc.rx_tx != kNoTx) {
       // Collision: both the in-progress frame and this one are lost at r.
-      tx_pool_[rs.rx_tx].corrupted[rs.rx_slot] = 1;
+      tx_pool_[rc.rx_tx].corrupted[rc.rx_slot] = 1;
       tx.corrupted[slot] = 1;
       ++collisions_;
       continue;
     }
-    rs.rx_tx = ti;
-    rs.rx_slot = static_cast<std::uint32_t>(slot);
+    rc.rx_tx = ti;
+    rc.rx_slot = static_cast<std::uint32_t>(slot);
   }
 
   queue_.schedule_at(end, [this, ti] { end_transmission(ti); });
@@ -288,28 +331,33 @@ void Simulator::end_transmission(std::uint32_t tx_index) {
   // scheduled attempt), so the pool cannot grow under us.
   Transmission& tx = tx_pool_[tx_index];
   const NodeId sender = tx.sender;
-  auto& st = states_[sender];
-  st.transmitting = false;
+  cards_[sender].transmitting = 0;
 
-  const auto& neighbors = topology_.neighbors(sender);
+  // One serial per physical frame: every receiver the loop below delivers
+  // to observes the same value, which is what lets the protocol layer
+  // verify the frame once per transmission. Fault models may rewrite
+  // frames per receiver, so the serial stays 0 (memo off) for them.
+  if (!fault_) ++delivery_serial_;
+
+  const SimTime air = radio_.airtime(tx.frame.size());
+  const auto& neighbors = topology_->neighbors(sender);
   for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
     const NodeId r = neighbors[slot];
-    auto& rs = states_[r];
-    --rs.carrier_count;
-    const bool locked = rs.rx_tx == tx_index && rs.rx_slot == slot;
+    auto& rc = cards_[r];
+    --rc.carrier_count;
+    const bool locked = rc.rx_tx == tx_index && rc.rx_slot == slot;
     if (locked) {
-      rs.rx_tx = kNoTx;
+      rc.rx_tx = kNoTx;
       // The receiver's radio was occupied for the whole frame whether or
       // not the content survives (collisions/losses still cost energy).
-      metrics_->node(r).rx_airtime_us +=
-          static_cast<std::uint64_t>(radio_.airtime(tx.frame.size()));
+      metrics_->node(r).rx_airtime_us += static_cast<std::uint64_t>(air);
     }
 
     if (!locked || tx.corrupted[slot] != 0) continue;
     // Channel quality: topology PRR sample, then the loss-model overlay
     // (application-layer drops in the paper's one-hop experiments).
-    if (!rs.rng.bernoulli(topology_.prr_by_slot(sender, slot))) continue;
-    if (!loss_->delivered(sender, r, queue_.now(), rs.rng)) continue;
+    if (!rngs_[r].bernoulli(topology_->prr_by_slot(sender, slot))) continue;
+    if (!loss_->delivered(sender, r, queue_.now(), rngs_[r])) continue;
 
     deliver(sender, r, tx.cls, tx.frame);
   }
@@ -319,10 +367,10 @@ void Simulator::end_transmission(std::uint32_t tx_index) {
   release_tx(tx_index);
 
   // Node may have queued more frames while transmitting.
-  if (st.queued() != 0 && !st.attempt_scheduled) {
+  if (macs_[sender].queued() != 0 && !cards_[sender].attempt_scheduled) {
     schedule_attempt(sender,
                      radio_.backoff_initial +
-                         static_cast<SimTime>(st.rng.uniform(
+                         static_cast<SimTime>(rngs_[sender].uniform(
                              static_cast<std::uint64_t>(radio_.backoff_window))));
   }
 }
@@ -342,7 +390,7 @@ void Simulator::deliver(NodeId sender, NodeId receiver, PacketClass cls,
   Bytes mutated = frame;
   FaultAction action;
   fault_->apply(sender, receiver, queue_.now(), mutated, action,
-                states_[receiver].rng);
+                rngs_[receiver]);
   if (action.drop) {
     ++fault_drops_;
     return;

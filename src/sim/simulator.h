@@ -76,6 +76,13 @@ class Env {
   virtual NodeMetrics& metrics() = 0;
   /// The node holds the complete verified image (records completion time).
   virtual void notify_complete() = 0;
+  /// Identifier of the broadcast delivery currently being dispatched, shared
+  /// by every receiver of the same physical frame. 0 means "no sharing" —
+  /// test doubles, and runs whose fault layer may mutate frames per
+  /// receiver, stay at 0 so receive-side memoization is disabled there.
+  /// Protocol engines use a nonzero serial to verify/parse each broadcast
+  /// frame once per transmission instead of once per receiver.
+  virtual std::uint64_t delivery_serial() const { return 0; }
 };
 
 /// Base class for everything attached to the simulator.
@@ -251,6 +258,16 @@ class Simulator {
  public:
   Simulator(Topology topology, std::unique_ptr<LossModel> loss,
             RadioParams radio, std::uint64_t seed);
+
+  /// Island mode: simulates only `members` (ascending NodeIds, closed under
+  /// the radio graph — i.e. a union of connected components) of a shared
+  /// topology. Node ids, metrics rows and per-node rng streams keep their
+  /// global numbering: rng streams are forked for *all* topology positions
+  /// in id order, so a member's stream is identical no matter how the
+  /// topology was partitioned. An empty `members` list means all nodes.
+  Simulator(std::shared_ptr<const Topology> topology,
+            std::unique_ptr<LossModel> loss, RadioParams radio,
+            std::uint64_t seed, std::vector<NodeId> members = {});
   ~Simulator();
 
   /// Installs a fault layer between the loss model and delivery. Must be
@@ -270,13 +287,15 @@ class Simulator {
   SimObserver* observer() const { return observer_; }
 
   /// Creates a node of type T whose constructor receives (Env&, args...).
-  /// Nodes must be added in NodeId order 0..topology.size()-1 before run().
+  /// Nodes must be added in NodeId order — 0..topology.size()-1, or the
+  /// members list in ascending order under island mode — before run().
   template <typename T, typename... Args>
   T& add_node(Args&&... args) {
-    Env& env = make_env();
+    const NodeId id = next_node_id();
+    Env& env = make_env(id);
     auto node = std::make_unique<T>(env, std::forward<Args>(args)...);
     T& ref = *node;
-    attach(std::move(node));
+    attach(id, std::move(node));
     return ref;
   }
 
@@ -287,8 +306,10 @@ class Simulator {
   SimTime now() const { return queue_.now(); }
   Metrics& metrics() { return *metrics_; }
   const Metrics& metrics() const { return *metrics_; }
-  const Topology& topology() const { return topology_; }
-  std::size_t node_count() const { return nodes_.size(); }
+  const Topology& topology() const { return *topology_; }
+  std::size_t node_count() const { return topology_->size(); }
+  /// The simulated members (ascending). Equals 0..size-1 outside island mode.
+  const std::vector<NodeId>& members() const { return members_; }
   Node& node(NodeId id) { return *nodes_[id]; }
   const RadioParams& radio() const { return radio_; }
 
@@ -310,10 +331,12 @@ class Simulator {
  private:
   class SimEnv;
   struct Transmission;
-  struct NodeState;
+  struct RadioCard;
+  struct MacState;
 
-  Env& make_env();
-  void attach(std::unique_ptr<Node> node);
+  NodeId next_node_id() const;
+  Env& make_env(NodeId id);
+  void attach(NodeId id, std::unique_ptr<Node> node);
   void start_if_needed();
 
   void enqueue_frame(NodeId sender, PacketClass cls, Bytes frame);
@@ -329,7 +352,7 @@ class Simulator {
   void deliver_now(NodeId sender, NodeId receiver, PacketClass cls,
                    const Bytes& frame, bool tampered);
 
-  Topology topology_;
+  std::shared_ptr<const Topology> topology_;
   std::unique_ptr<LossModel> loss_;
   std::unique_ptr<FaultModel> fault_;
   RadioParams radio_;
@@ -341,7 +364,20 @@ class Simulator {
 
   std::vector<std::unique_ptr<SimEnv>> envs_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<NodeState> states_;
+  // Per-node simulation state, struct-of-arrays: the 16-byte radio card
+  // (carrier count, rx lock, tx flags) is all the per-neighbor loops in
+  // begin/end_transmission touch — four cards per cache line instead of one
+  // ~96-byte node record — while the rng streams and the cold MAC queues
+  // live in their own arrays.
+  std::vector<RadioCard> cards_;
+  std::vector<MacState> macs_;
+  std::vector<Rng> rngs_;
+  std::vector<NodeId> members_;
+  std::vector<std::uint8_t> is_member_;  // empty unless island mode
+  std::size_t added_ = 0;
+  // Broadcast delivery serial: bumped once per physical frame delivery
+  // fan-out, 0 forever when a fault model may mutate frames per receiver.
+  std::uint64_t delivery_serial_ = 0;
   // In-flight transmissions, slab-pooled: a transmission's lifetime is
   // bounded by its own end event, so slots recycle through a free list and
   // the frame/flag buffers keep their capacity — broadcast to N neighbors

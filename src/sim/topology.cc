@@ -179,7 +179,7 @@ void Topology::set_prr_jitter(double magnitude, std::uint64_t seed) {
   rebuild_prr_cache();
 }
 
-bool Topology::connected() const {
+bool Topology::connected(double min_prr) const {
   if (positions_.empty()) return true;
   std::vector<bool> seen(positions_.size(), false);
   std::deque<NodeId> frontier{0};
@@ -188,8 +188,10 @@ bool Topology::connected() const {
   while (!frontier.empty()) {
     const NodeId at = frontier.front();
     frontier.pop_front();
-    for (const NodeId next : neighbors_[at]) {
-      if (!seen[next]) {
+    const auto& nb = neighbors_[at];
+    for (std::size_t slot = 0; slot < nb.size(); ++slot) {
+      const NodeId next = nb[slot];
+      if (!seen[next] && prr_cache_[at][slot] > min_prr) {
         seen[next] = true;
         ++reached;
         frontier.push_back(next);

@@ -88,8 +88,12 @@ class Topology {
   double mean_degree() const;
 
   /// True when every node is radio-reachable from node 0 (BFS over the
-  /// neighbor lists). Generators reject disconnected placements.
-  bool connected() const;
+  /// neighbor lists). Generators reject disconnected placements. With a
+  /// positive `min_prr` the BFS only walks links whose base PRR exceeds
+  /// it, i.e. checks connectivity of the *reliable* subgraph: a placement
+  /// can pass the plain check while a pocket of nodes hangs off a single
+  /// near-silent gray-zone bridge that in practice never delivers.
+  bool connected(double min_prr = 0.0) const;
 
   /// Per-link heterogeneity: scales each directed link's PRR by a
   /// deterministic factor in [1 - magnitude, 1], drawn from a hash of

@@ -113,22 +113,24 @@ TEST(AllocGuard, SteadyStateEventLoopAllocatesNothing) {
   sim::EventQueue q;
   std::uint64_t fired = 0;
 
-  // Periods sweep the wheel but divide the 1 ms bucket width (or the
-  // whole 4.096 s span), so the bucket-occupancy pattern is periodic with
+  // Periods sweep the wheel but divide the 2^10 us bucket width (or the
+  // whole 2^22 us span), so the bucket-occupancy pattern is periodic with
   // the wheel wrap and every vector's high-water mark is reached during
   // warm-up. (Unaligned periods — say 0.7 ms — drift phase against the
   // buckets for the ~hour-long lcm of period and span, sporadically
   // setting new per-bucket high-water marks; that growth is amortized
-  // zero but not zero in any finite window.) The 0.5 ms loop touches
+  // zero but not zero in any finite window.) The half-width loop touches
   // every bucket twice per wrap; the span-length loop always lands past
   // the horizon, so the overflow heap and the re-anchor sweep both run.
-  q.schedule_at(0, PeriodicLoop{&q, &fired, 500});
-  q.schedule_at(0, PeriodicLoop{&q, &fired, 1 * sim::kMillisecond});
-  q.schedule_at(0, PeriodicLoop{&q, &fired, 4096 * sim::kMillisecond});
-  q.schedule_at(0, CancellingLoop{&q, &fired, 1 * sim::kMillisecond});
+  constexpr sim::SimTime kWidth = 1 << 10;
+  constexpr sim::SimTime kSpan = kWidth << 12;
+  q.schedule_at(0, PeriodicLoop{&q, &fired, kWidth / 2});
+  q.schedule_at(0, PeriodicLoop{&q, &fired, kWidth});
+  q.schedule_at(0, PeriodicLoop{&q, &fired, kSpan});
+  q.schedule_at(0, CancellingLoop{&q, &fired, kWidth});
 
   // Warm-up: several full wheel wraps (~4 events/ms means 200k events
-  // cover ~50 s of simulated time against the 4.096 s span), so every
+  // cover ~50 s of simulated time against the ~4.2 s span), so every
   // vector reaches its steady-state capacity.
   for (int i = 0; i < 200000; ++i) ASSERT_TRUE(q.run_next());
 
@@ -140,6 +142,45 @@ TEST(AllocGuard, SteadyStateEventLoopAllocatesNothing) {
   EXPECT_EQ(fired - fired_before, 200000u);
   EXPECT_EQ(allocs, 0u) << "steady-state schedule/cancel/pop must not "
                            "touch the heap";
+}
+
+TEST(AllocGuard, OverflowBurstsReuseHeapCapacityOnceWarmed) {
+  // A burst of far-future events lands entirely in the overflow heap
+  // (every target is past the ~4.2 s wheel horizon), then the drain
+  // re-anchors the wheel several times to sweep them in. The first burst
+  // may grow the heap's backing store and the per-bucket vectors; a
+  // second, identical burst-and-drain cycle must find all of that
+  // capacity recycled and allocate nothing.
+  constexpr sim::SimTime kWidth = 1 << 10;
+  constexpr sim::SimTime kSpan = kWidth << 12;
+  constexpr int kBurst = 4096;
+
+  sim::EventQueue q;
+  std::uint64_t fired = 0;
+  const auto burst_and_drain = [&] {
+    // Span-align the burst so both cycles hit the same bucket phase;
+    // otherwise the second cycle can set a new per-bucket high-water
+    // mark and legitimately allocate once.
+    const sim::SimTime base = (q.now() / kSpan + 2) * kSpan;
+    for (int i = 0; i < kBurst; ++i) {
+      // Hostile order: stride the targets across three span windows so
+      // consecutive pushes alternate between heap regions.
+      const sim::SimTime at = base + (i % 3) * kSpan + i * kWidth / 4;
+      q.schedule_at(at, [&fired] { ++fired; });
+    }
+    while (q.run_next()) {
+    }
+  };
+
+  burst_and_drain();  // warm-up: establishes high-water capacity
+  const std::uint64_t fired_before = fired;
+  const std::uint64_t allocs_before = alloc_count();
+  burst_and_drain();
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+
+  EXPECT_EQ(fired - fired_before, static_cast<std::uint64_t>(kBurst));
+  EXPECT_EQ(allocs, 0u) << "a warmed overflow heap must absorb repeat "
+                           "bursts without touching the allocator";
 }
 
 TEST(AllocGuard, StarScenarioStaysUnderPerEventBudget) {

@@ -41,6 +41,9 @@ void expect_equal(const ExperimentResult& a, const ExperimentResult& b,
   EXPECT_EQ(a.tx_energy_mj, b.tx_energy_mj) << what;
   EXPECT_EQ(a.rx_energy_mj, b.rx_energy_mj) << what;
   EXPECT_EQ(a.listen_energy_mj, b.listen_energy_mj) << what;
+  EXPECT_EQ(a.received_bytes, b.received_bytes) << what;
+  EXPECT_EQ(a.events_executed, b.events_executed) << what;
+  EXPECT_EQ(a.images_match, b.images_match) << what;
 }
 
 TEST(RunTrials, TrialIUsesSeedPlusI) {
@@ -102,6 +105,69 @@ TEST(RunTrials, DefaultJobsHonorsEnvOverride) {
 TEST(RunTrials, ZeroRepeatsIsRejected) {
   const auto cfg = small_config(Scheme::kLrSeluge, 0.0, 1);
   EXPECT_THROW(run_trials(cfg, 0, 2), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Island-sharded execution (core/experiment.cc + sim/partition.h)
+// ---------------------------------------------------------------------------
+
+/// 2x3 lattice of radio-isolated cells, 4 nodes each: six islands, six
+/// bases, every receiver two radio hops at most from its island's base.
+ExperimentConfig cells_config(std::uint64_t seed) {
+  ExperimentConfig c;
+  c.scheme = Scheme::kLrSeluge;
+  c.image_size = 4 * 1024;
+  c.topo = ExperimentConfig::Topo::kSpec;
+  c.topo_spec.kind = sim::TopologyKind::kCells;
+  c.topo_spec.rows = 2;
+  c.topo_spec.cols = 3;
+  c.topo_spec.nodes = 24;
+  c.topo_spec.width = 30.0;   // 30x30 box, diagonal < outer radius: every
+  c.topo_spec.height = 30.0;  // cell placement is connected on the first try
+  c.topo_spec.seed = 7;
+  c.loss_p = 0.1;
+  c.seed = seed;
+  c.islands = true;
+  c.check_invariants = true;  // per-island observers must merge cleanly
+  return c;
+}
+
+TEST(IslandExecutor, WorkerCountNeverChangesTheResult) {
+  auto cfg = cells_config(5);
+  cfg.island_jobs = 1;
+  const auto serial = run_experiment(cfg);
+  cfg.island_jobs = 4;
+  const auto parallel = run_experiment(cfg);
+  expect_equal(serial, parallel, "island jobs=1 vs jobs=4");
+  EXPECT_TRUE(serial.all_complete);
+  EXPECT_TRUE(serial.images_match);
+  // Six islands, six bases: 24 - 6 receivers.
+  EXPECT_EQ(serial.receivers, 18u);
+  EXPECT_EQ(serial.completed, 18u);
+  EXPECT_EQ(serial.invariant_violations, 0u);
+  EXPECT_GT(serial.invariant_checks, 0u);
+}
+
+TEST(IslandExecutor, ConnectedTopologyTakesTheClassicPath) {
+  auto cfg = small_config(Scheme::kLrSeluge, 0.2, 3);
+  const auto classic = run_experiment(cfg);
+  cfg.islands = true;  // a star is one island: must match classic exactly
+  cfg.island_jobs = 4;
+  const auto island = run_experiment(cfg);
+  expect_equal(classic, island, "classic vs islands on connected topology");
+}
+
+TEST(IslandExecutor, SecureSchemesShareOneRootAcrossIslands) {
+  // Seluge receivers verify the per-island signature against the single
+  // preloaded root; >4 islands also exercises the taller one-time-key tree.
+  auto cfg = cells_config(11);
+  cfg.scheme = Scheme::kSeluge;
+  cfg.check_invariants = false;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.all_complete);
+  EXPECT_TRUE(r.images_match);
+  EXPECT_GT(r.signature_verifications, 0u);
+  EXPECT_EQ(r.auth_failures, 0u);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "sim/partition.h"
 #include "sim/scenario/generators.h"
 #include "sim/scenario/scenario.h"
 #include "sim/time.h"
@@ -34,7 +35,7 @@ TEST(GeneratorTest, KindNamesRoundTrip) {
   for (const TopologyKind k :
        {TopologyKind::kStar, TopologyKind::kGrid,
         TopologyKind::kRandomGeometric, TopologyKind::kClustered,
-        TopologyKind::kLine, TopologyKind::kRing}) {
+        TopologyKind::kLine, TopologyKind::kRing, TopologyKind::kCells}) {
     TopologyKind back{};
     ASSERT_TRUE(sim::topology_kind_from_name(sim::topology_kind_name(k),
                                              &back));
@@ -183,6 +184,48 @@ TEST(GeneratorTest, RejectsDegenerateSpecs) {
 // ---------------------------------------------------------------------------
 // Per-link PRR jitter
 // ---------------------------------------------------------------------------
+
+TEST(GeneratorTest, CellsLatticeIsRadioIsolatedAndCellMajor) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kCells;
+  spec.rows = 2;
+  spec.cols = 2;
+  spec.nodes = 24;  // 6 per cell
+  spec.width = 40.0;
+  spec.height = 40.0;
+  spec.seed = 3;
+  const auto topo = sim::build_topology(spec);
+  ASSERT_EQ(topo.size(), 24u);
+  EXPECT_FALSE(topo.connected());
+
+  // Exactly one island per cell, ids cell-major: cell c owns [6c, 6c+6).
+  const auto islands = sim::radio_islands(topo);
+  ASSERT_EQ(islands.size(), 4u);
+  for (std::size_t c = 0; c < islands.size(); ++c) {
+    ASSERT_EQ(islands[c].size(), 6u);
+    for (std::size_t k = 0; k < 6; ++k) {
+      EXPECT_EQ(islands[c][k], static_cast<NodeId>(6 * c + k));
+    }
+  }
+
+  // Deterministic in the seed.
+  const auto again = sim::build_topology(spec);
+  for (NodeId i = 0; i < topo.size(); ++i) {
+    EXPECT_EQ(topo.position(i).x, again.position(i).x);
+    EXPECT_EQ(topo.position(i).y, again.position(i).y);
+  }
+}
+
+TEST(GeneratorTest, ConnectedTopologyIsOneIsland) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kRandomGeometric;
+  spec.nodes = 20;
+  const auto topo = sim::build_topology(spec);
+  const auto islands = sim::radio_islands(topo);
+  ASSERT_EQ(islands.size(), 1u);
+  ASSERT_EQ(islands[0].size(), 20u);
+  for (NodeId i = 0; i < 20; ++i) EXPECT_EQ(islands[0][i], i);
+}
 
 TEST(JitterTest, ScalesPrrWithinBandDeterministically) {
   TopologySpec spec;
@@ -371,6 +414,24 @@ TEST(ScenarioParseTest, RejectsInconsistentCrossFieldCombinations) {
       "[scenario]\nname = x\n[faults]\nduplicate_prob = 0.5\n"
       "max_copies = 1\n",
       "max_copies");
+  // Cells: node count must split evenly into non-trivial cells.
+  expect_rejected(
+      "[scenario]\nname = x\n[topology]\nkind = cells\nnodes = 25\n"
+      "rows = 2\ncols = 3\n",
+      "divisible");
+  expect_rejected(
+      "[scenario]\nname = x\n[topology]\nkind = cells\nnodes = 6\n"
+      "rows = 2\ncols = 3\n",
+      "two nodes per cell");
+  // Island execution cannot honor whole-network fault schedules.
+  expect_rejected(
+      "[scenario]\nname = x\n[faults]\ncrash = 1@1000+500\n"
+      "[trial]\nislands = true\n",
+      "islands");
+  expect_rejected(
+      "[scenario]\nname = x\n[faults]\nearly_sleeper = 2@0\n"
+      "[trial]\nislands = true\n",
+      "islands");
 }
 
 // ---------------------------------------------------------------------------
@@ -390,6 +451,51 @@ TEST(ScenarioCanonicalTest, EmitsOnlyRelevantKeys) {
   EXPECT_EQ(canon.find("loss ="), std::string::npos);
   EXPECT_EQ(canon.find("[faults]"), std::string::npos);
   EXPECT_EQ(canon.find("description ="), std::string::npos);
+}
+
+TEST(ScenarioCanonicalTest, CellsAndIslandsRoundTrip) {
+  std::string error;
+  const auto s = scenario::parse_scenario(
+      "[scenario]\nname = fleet\n[topology]\nkind = cells\nnodes = 24\n"
+      "rows = 2\ncols = 3\nwidth = 35\nheight = 35\n"
+      "[trial]\nislands = true\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  EXPECT_TRUE(s->islands);
+  const std::string canon = scenario::canonical_scenario(*s);
+  EXPECT_NE(canon.find("kind = cells"), std::string::npos);
+  EXPECT_NE(canon.find("rows = 2"), std::string::npos);
+  EXPECT_NE(canon.find("cols = 3"), std::string::npos);
+  EXPECT_NE(canon.find("islands = true"), std::string::npos);
+  const auto back = scenario::parse_scenario(canon, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(scenario::canonical_scenario(*back), canon);
+
+  // islands defaults to false and is then omitted from canonical form.
+  const auto plain = scenario::parse_scenario(kMinimal, &error);
+  ASSERT_TRUE(plain.has_value()) << error;
+  EXPECT_FALSE(plain->islands);
+  EXPECT_EQ(scenario::canonical_scenario(*plain).find("islands"),
+            std::string::npos);
+}
+
+TEST(ScenarioConfigTest, IslandsMapToConfigAndExpectedComplete) {
+  std::string error;
+  const auto s = scenario::parse_scenario(
+      "[scenario]\nname = fleet\n[topology]\nkind = cells\nnodes = 24\n"
+      "rows = 2\ncols = 3\n[trial]\nislands = true\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  const auto cfg = scenario::scenario_config(*s);
+  EXPECT_TRUE(cfg.islands);
+  // Six cells = six bases: only 18 of 24 nodes are receivers.
+  EXPECT_EQ(s->expected_complete(), 18u);
+
+  // Without island execution a cells topology keeps the single base.
+  auto classic = *s;
+  classic.islands = false;
+  EXPECT_EQ(classic.expected_complete(), 23u);
+  EXPECT_FALSE(scenario::scenario_config(classic).islands);
 }
 
 TEST(ScenarioCanonicalTest, ShortestRoundTripDoubles) {

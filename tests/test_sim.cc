@@ -201,6 +201,86 @@ TEST(EventQueueTest, SlotReuseDoesNotConfuseOldTokens) {
   EXPECT_TRUE(q.cancel(fresh) == false);
 }
 
+// The wheel covers ~4.19 s of lookahead; everything later waits in the
+// overflow heap for a re-anchor sweep. Schedule in an order hostile to
+// both structures — far windows first, near fill-ins later, a tie deep in
+// overflow, one event just past the first horizon — and demand exact
+// global (time, seq) order across every sweep.
+TEST(EventQueueTest, OverflowHorizonCrossingsFireInGlobalOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  struct Ev {
+    SimTime at;
+    int id;
+  };
+  const std::vector<Ev> evs = {
+      {9 * kSecond, 6},  {18 * kSecond, 8},
+      {1 * kSecond, 1},  {4 * kSecond + kSecond / 2, 4},
+      {2 * kSecond, 2},  {9 * kSecond, 7},  // tie with id 6: seq decides
+      {4 * kSecond, 3},  {5 * kSecond, 5},
+  };
+  for (const auto& e : evs) {
+    q.schedule_at(e.at, [&order, id = e.id] { order.push_back(id); });
+  }
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(q.now(), 18 * kSecond);
+}
+
+// Events scheduled from inside a running event can target times past the
+// wheel's current horizon; they must land in overflow and still fire in
+// time order once the wheel re-anchors onto them.
+TEST(EventQueueTest, MidRunSchedulingPastTheHorizonSweepsIn) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(kSecond, [&] {
+    order.push_back(1);
+    q.schedule_at(q.now() + 10 * kSecond, [&] { order.push_back(3); });
+    q.schedule_at(q.now() + 5 * kSecond, [&] { order.push_back(2); });
+  });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 11 * kSecond);
+}
+
+// Recycling one slot through many schedule/cancel cycles bumps its
+// generation each time; every historical token must stay stale — only the
+// newest generation may cancel.
+TEST(EventQueueTest, RecycledSlotGenerationsInvalidateEveryOldToken) {
+  EventQueue q;
+  std::vector<EventToken> history;
+  for (int i = 0; i < 1000; ++i) {
+    auto t = q.schedule_at(5, [] {});
+    history.push_back(t);
+    EXPECT_TRUE(q.cancel(t));
+  }
+  auto live = q.schedule_at(5, [] {});
+  for (const auto& t : history) EXPECT_FALSE(q.cancel(t));
+  EXPECT_TRUE(q.cancel(live));
+  EXPECT_TRUE(q.empty());
+}
+
+// Tokens minted through from_bits with a mismatched generation (the
+// wraparound shape: same slot, different gen) or an out-of-range slot are
+// rejected without touching the live event.
+TEST(EventQueueTest, ForgedTokensCannotTouchLiveEvents) {
+  EventQueue q;
+  bool ran = false;
+  auto live = q.schedule_at(3, [&] { ran = true; });
+  const auto forged_gen = EventToken::from_bits(live.bits() + 1);
+  const auto forged_slot =
+      EventToken::from_bits(live.bits() + (std::uint64_t{1} << 32));
+  const auto huge_slot = EventToken::from_bits(~std::uint64_t{0});
+  EXPECT_FALSE(q.cancel(forged_gen));
+  EXPECT_FALSE(q.cancel(forged_slot));
+  EXPECT_FALSE(q.cancel(huge_slot));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.run_next());
+  EXPECT_TRUE(ran);
+}
+
 // ---------------------------------------------------------------------------
 // Trickle
 // ---------------------------------------------------------------------------
