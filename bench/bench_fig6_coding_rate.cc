@@ -6,6 +6,11 @@
 // p=0.1, n=56); pushing n further brings costs back up because the n*8
 // bytes of next-page hashes ride inside every page, shrinking per-page
 // image capacity and adding pages.
+//
+// The sweep also carries a codec axis {rs, lrc}: LRC's weaker-than-MDS
+// threshold (k' = k + g - 1) costs extra packets at every rate, and the
+// codec column lets the campaign quantify that premium point-by-point
+// against the MDS baseline.
 #include "bench/common.h"
 
 namespace lrs::bench {
@@ -19,30 +24,42 @@ void run(const BenchOptions& opt) {
       opt.quick ? std::vector<std::size_t>{32, 48, 64}
                 : std::vector<std::size_t>{32, 36, 40, 44, 48, 52, 56, 60,
                                            64};
+  struct Codec {
+    erasure::CodecKind kind;
+    const char* name;
+  };
+  const Codec codecs[] = {
+      {erasure::CodecKind::kReedSolomon, "rs"},
+      {erasure::CodecKind::kLrc, "lrc"},
+  };
   std::vector<core::ExperimentConfig> configs;
   std::vector<std::vector<std::string>> prefixes;
-  for (double p : losses) {
-    for (std::size_t n : rates) {
-      auto cfg = paper_config(core::Scheme::kLrSeluge);
-      cfg.params.n = n;
-      cfg.loss_p = p;
-      // Page count from the capacity math (mirrors the builder).
-      const std::size_t mid = cfg.params.k * cfg.params.payload_size - n * 8;
-      const std::size_t last = cfg.params.k * cfg.params.payload_size;
-      const std::size_t pages =
-          cfg.image_size <= last
-              ? 1
-              : 1 + (cfg.image_size - last + mid - 1) / mid;
-      configs.push_back(cfg);
-      prefixes.push_back({format_num(p, 2),
-                          format_num(static_cast<double>(n)),
-                          format_num(static_cast<double>(n) / 32.0, 2),
-                          format_num(static_cast<double>(pages))});
+  for (const auto& codec : codecs) {
+    for (double p : losses) {
+      for (std::size_t n : rates) {
+        auto cfg = paper_config(core::Scheme::kLrSeluge);
+        cfg.params.codec = codec.kind;
+        cfg.params.n = n;
+        cfg.loss_p = p;
+        // Page count from the capacity math (mirrors the builder).
+        const std::size_t mid =
+            cfg.params.k * cfg.params.payload_size - n * 8;
+        const std::size_t last = cfg.params.k * cfg.params.payload_size;
+        const std::size_t pages =
+            cfg.image_size <= last
+                ? 1
+                : 1 + (cfg.image_size - last + mid - 1) / mid;
+        configs.push_back(cfg);
+        prefixes.push_back({codec.name, format_num(p, 2),
+                            format_num(static_cast<double>(n)),
+                            format_num(static_cast<double>(n) / 32.0, 2),
+                            format_num(static_cast<double>(pages))});
+      }
     }
   }
   const auto results = run_sweep(configs, opt);
 
-  std::vector<std::string> header{"p", "n", "rate", "pages"};
+  std::vector<std::string> header{"codec", "p", "n", "rate", "pages"};
   header.insert(header.end(), kMetricHeader.begin(), kMetricHeader.end());
   Table t(std::move(header));
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -7,6 +7,9 @@
 // sweep of kernels x (k, n, payload) and writes machine-readable results to
 // BENCH_micro_erasure.json (override the path with LRS_BENCH_JSON, skip with
 // LRS_BENCH_JSON=none) so successive PRs have a perf trajectory to track.
+// The sweep also covers the LRC and XOR-schedule backends: encode/decode per
+// geometry, the local-repair fast path, Monte Carlo local-repair hit rates
+// at the Fig. 6 loss points, and the xorsched-vs-table-RS speedup row.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -111,6 +114,10 @@ void BM_Rlc2Encode(benchmark::State& s) { encode_bench(s, CodecKind::kRlcGf2, 2)
 void BM_Rlc2Decode(benchmark::State& s) { decode_bench(s, CodecKind::kRlcGf2, 2); }
 void BM_Rlc256Encode(benchmark::State& s) { encode_bench(s, CodecKind::kRlcGf256, 1); }
 void BM_Rlc256Decode(benchmark::State& s) { decode_bench(s, CodecKind::kRlcGf256, 1); }
+void BM_LrcEncode(benchmark::State& s) { encode_bench(s, CodecKind::kLrc, 0); }
+void BM_LrcDecode(benchmark::State& s) { decode_bench(s, CodecKind::kLrc, 0); }
+void BM_XorschedEncode(benchmark::State& s) { encode_bench(s, CodecKind::kXorSchedule, 0); }
+void BM_XorschedDecode(benchmark::State& s) { decode_bench(s, CodecKind::kXorSchedule, 0); }
 
 BENCHMARK(BM_RsEncode);
 BENCHMARK(BM_RsDecode);
@@ -118,6 +125,27 @@ BENCHMARK(BM_Rlc2Encode);
 BENCHMARK(BM_Rlc2Decode);
 BENCHMARK(BM_Rlc256Encode);
 BENCHMARK(BM_Rlc256Decode);
+BENCHMARK(BM_LrcEncode);
+BENCHMARK(BM_LrcDecode);
+BENCHMARK(BM_XorschedEncode);
+BENCHMARK(BM_XorschedDecode);
+
+void BM_LrcLocalRepairDecode(benchmark::State& state) {
+  // The cheap path the LRC exists for: one data block missing, its group's
+  // local parity present — repair touches 5 blocks instead of a 32-wide
+  // solve.
+  auto code = make_lrc_code(32, 48);
+  const auto blocks = random_blocks(32, 64, 5);
+  const auto encoded = code->encode(blocks);
+  std::vector<Share> shares;
+  for (std::size_t i = 0; i < 32; ++i)
+    if (i != 6) shares.push_back({i, encoded[i]});
+  shares.push_back({32 + 1, encoded[32 + 1]});  // local parity of group 1
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code->decode(shares));
+  }
+}
+BENCHMARK(BM_LrcLocalRepairDecode);
 
 void BM_SystematicFastPathDecode(benchmark::State& state) {
   auto code = make_rs_code(32, 48);
@@ -259,6 +287,105 @@ std::vector<SweepResult> run_sweep() {
   return results;
 }
 
+/// Codec-backend rows (PR 8): LRC and XOR-schedule encode/decode under the
+/// active kernel, the LRC local-repair fast path, and Monte Carlo
+/// local-repair hit rates under the Fig. 6 loss points. These run once (not
+/// per kernel): the XOR schedule's paper-geometry path is register-resident
+/// u64 arithmetic and LRC's hot loops go through the same dispatched addmul
+/// as RS.
+void append_codec_sweep(std::vector<SweepResult>& results) {
+  const SweepConfig configs[] = {
+      {32, 48, 64},
+      {16, 24, 32},
+      {64, 128, 256},
+  };
+  const struct {
+    CodecKind kind;
+    const char* name;
+  } codecs[] = {
+      {CodecKind::kLrc, "lrc"},
+      {CodecKind::kXorSchedule, "xorsched"},
+  };
+  for (const auto& c : codecs) {
+    for (const auto& cfg : configs) {
+      const std::string suffix = "/k=" + std::to_string(cfg.k) +
+                                 "/n=" + std::to_string(cfg.n) +
+                                 "/len=" + std::to_string(cfg.payload);
+      auto code = make_code(c.kind, cfg.k, cfg.n, 0, 0);
+      const auto blocks = random_blocks(cfg.k, cfg.payload, 2);
+      const std::size_t page_bytes = cfg.k * cfg.payload;
+      results.push_back(
+          time_op(std::string(c.name) + "_encode" + suffix, page_bytes, [&] {
+            benchmark::DoNotOptimize(code->encode(blocks));
+          }));
+
+      // Parity-heavy decode at the codec's own threshold.
+      const auto encoded = code->encode(blocks);
+      std::vector<Share> shares;
+      for (std::size_t i = 0; i < code->decode_threshold(); ++i) {
+        const std::size_t idx = cfg.n - 1 - i;
+        shares.push_back({idx, encoded[idx]});
+      }
+      results.push_back(
+          time_op(std::string(c.name) + "_decode" + suffix, page_bytes, [&] {
+            benchmark::DoNotOptimize(code->decode(shares));
+          }));
+    }
+  }
+
+  // LRC local-repair fast path at the paper geometry: one erased data block
+  // repaired from its group alone.
+  {
+    auto code = make_lrc_code(32, 48);
+    const auto blocks = random_blocks(32, 64, 5);
+    const auto encoded = code->encode(blocks);
+    std::vector<Share> shares;
+    for (std::size_t i = 0; i < 32; ++i)
+      if (i != 6) shares.push_back({i, encoded[i]});
+    shares.push_back({32 + 1, encoded[32 + 1]});
+    results.push_back(
+        time_op("lrc_decode_local_repair/k=32/n=48/len=64", 32 * 64, [&] {
+          benchmark::DoNotOptimize(code->decode(shares));
+        }));
+  }
+}
+
+/// Monte Carlo local-repair hit rate: i.i.d. packet loss at the Fig. 6
+/// points, decode from the survivors, count how often the page completed
+/// without a k-wide solve. Uses a private (uncached) instance so the
+/// counters belong to this measurement alone.
+void append_local_repair_rates(std::vector<SweepResult>& results) {
+  const struct {
+    double p;
+    const char* label;
+  } losses[] = {{0.05, "0.05"}, {0.1, "0.1"}, {0.2, "0.2"}};
+  for (const auto& loss : losses) {
+    auto code = make_lrc_code(32, 48);
+    const auto blocks = random_blocks(32, 64, 6);
+    const auto encoded = code->encode(blocks);
+    Rng rng(static_cast<std::uint64_t>(loss.p * 1000) + 9);
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<Share> shares;
+      for (std::size_t i = 0; i < 48; ++i) {
+        if (rng.uniform(10000) < static_cast<std::size_t>(loss.p * 10000))
+          continue;
+        shares.push_back({i, encoded[i]});
+      }
+      benchmark::DoNotOptimize(code->decode(shares));
+    }
+    const auto st = lrc_stats(*code);
+    const double rate =
+        st->decodes == 0
+            ? 0.0
+            : static_cast<double>(st->local_only_decodes) /
+                  static_cast<double>(st->decodes);
+    results.push_back({"lrc_local_repair_rate/p=" + std::string(loss.label) +
+                           "/k=32/n=48",
+                       rate, static_cast<double>(st->decodes)});
+  }
+}
+
 /// Speedup rows: the fastest available kernel vs the reference oracle for
 /// the paper config — the acceptance metric this bench exists to
 /// demonstrate. "Fastest" is empirical (best measured MB/s per op), not
@@ -293,6 +420,23 @@ void append_speedups(std::vector<SweepResult>& results) {
     results.push_back({std::string(op) + "/speedup/" + best_name + "_vs_ref",
                        best->mb_per_s / ref->mb_per_s, 0.0});
   }
+
+  // Acceptance row for the XOR-schedule backend: its compiled encode against
+  // table-kernel RS at the paper geometry (the SIMD kernels are a separate
+  // axis already covered by the rows above).
+  auto find_exact = [&](const std::string& want) -> const SweepResult* {
+    for (const auto& r : results) {
+      if (r.name == want) return &r;
+    }
+    return nullptr;
+  };
+  const SweepResult* rs_table =
+      find_exact("rs_encode/kernel=table/k=32/n=48/len=64");
+  const SweepResult* xs = find_exact("xorsched_encode/k=32/n=48/len=64");
+  if (rs_table != nullptr && xs != nullptr && rs_table->mb_per_s > 0) {
+    results.push_back({"xorsched_encode/speedup/xorsched_vs_rs_table",
+                       xs->mb_per_s / rs_table->mb_per_s, 0.0});
+  }
 }
 
 void write_json(const std::vector<SweepResult>& results,
@@ -315,6 +459,10 @@ void write_json(const std::vector<SweepResult>& results,
     out << "    {\"name\": \"" << r.name << "\", ";
     if (r.name.find("/speedup/") != std::string::npos) {
       out << "\"speedup\": " << r.mb_per_s;
+    } else if (r.name.find("_rate/") != std::string::npos) {
+      // Monte Carlo rows: ns_per_op carries the sample count.
+      out << "\"rate\": " << r.mb_per_s
+          << ", \"decodes\": " << static_cast<std::size_t>(r.ns_per_op);
     } else {
       out << "\"mb_per_s\": " << r.mb_per_s
           << ", \"ns_per_op\": " << r.ns_per_op;
@@ -340,6 +488,8 @@ int main(int argc, char** argv) {
       env != nullptr && env[0] != '\0' ? env : "BENCH_micro_erasure.json";
   if (path == "none") return 0;
   auto results = run_sweep();
+  append_codec_sweep(results);
+  append_local_repair_rates(results);
   append_speedups(results);
   write_json(results, path);
   return 0;

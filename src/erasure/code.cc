@@ -11,6 +11,8 @@ std::optional<CodecKind> parse_codec_kind(const std::string& name) {
   if (name == "rlc2") return CodecKind::kRlcGf2;
   if (name == "rlc256") return CodecKind::kRlcGf256;
   if (name == "lt") return CodecKind::kLt;
+  if (name == "lrc") return CodecKind::kLrc;
+  if (name == "xorsched") return CodecKind::kXorSchedule;
   return std::nullopt;
 }
 
@@ -26,6 +28,10 @@ std::unique_ptr<ErasureCode> make_code(CodecKind kind, std::size_t k,
       return make_rlc_gf256(k, n, delta, seed);
     case CodecKind::kLt:
       return make_lt_code(k, n, delta, seed);
+    case CodecKind::kLrc:
+      return make_lrc_code(k, n);
+    case CodecKind::kXorSchedule:
+      return make_xorsched_code(k, n);
   }
   return nullptr;
 }
@@ -53,9 +59,10 @@ std::shared_ptr<const ErasureCode> make_code_cached(CodecKind kind,
                                                     std::size_t n,
                                                     std::size_t delta,
                                                     std::uint64_t seed) {
-  if (kind == CodecKind::kReedSolomon) {
-    // RS ignores delta and seed; canonicalize so all spellings share one
-    // generator matrix.
+  if (kind == CodecKind::kReedSolomon || kind == CodecKind::kLrc ||
+      kind == CodecKind::kXorSchedule) {
+    // These constructions ignore delta and seed; canonicalize so all
+    // spellings share one generator matrix / XOR schedule.
     delta = 0;
     seed = 0;
   }

@@ -5,13 +5,22 @@
 // LR-Seluge preloads the *same instance* on every node so any node can
 // regenerate the exact n packets of a page it has decoded and serve them.
 //
-// Two families are provided:
+// Four families are provided:
 //  * ReedSolomonCode — systematic Cauchy-matrix RS over GF(256). MDS:
 //    deterministically decodable from ANY k blocks (k' == k).
 //  * RlcCode — systematic random linear code over GF(2) or GF(256) with
 //    pseudorandom parity rows derived from a public seed. Decoding succeeds
 //    once the received coefficient rows reach rank k; the nominal k'
 //    (k + delta) is what the protocol advertises in SNACK distance math.
+//  * LrcCode — pyramid-style Locally Repairable Code: the k data blocks
+//    split into g local groups, each protected by one local parity, plus
+//    global Cauchy parities. A single erasure inside a group repairs from
+//    the group alone (no k-wide solve); any k + g - 1 blocks decode
+//    deterministically (weaker than MDS — see lrc_code.cc).
+//  * XorScheduleCode — the same Cauchy-RS construction compiled into a
+//    precomputed word-wise XOR program (jerasure matrix_to_bitmatrix /
+//    bitmatrix_to_schedule style); MDS like RS but with no GF(256)
+//    multiplies on the encode path.
 #pragma once
 
 #include <memory>
@@ -76,8 +85,44 @@ std::unique_ptr<ErasureCode> make_lt_code(std::size_t k, std::size_t n,
                                           std::size_t delta,
                                           std::uint64_t seed);
 
-/// Parses "rs", "rlc2", "rlc256", "lt" — used by example/bench CLI flags.
-enum class CodecKind { kReedSolomon, kRlcGf2, kRlcGf256, kLt };
+/// Pyramid-style Locally Repairable Code; requires k <= n <= 255. The k data
+/// blocks split into lrc_group_count(k, n) groups, each with one local
+/// parity; the remaining parities are global Cauchy rows. Deterministic
+/// decode from any k + g - 1 blocks (k' == k + g - 1); a single missing data
+/// block whose group parity survived repairs from its group alone.
+std::unique_ptr<ErasureCode> make_lrc_code(std::size_t k, std::size_t n);
+
+/// Cauchy-RS compiled to a word-wise XOR schedule; requires k <= n <= 255.
+/// Byte-identical codewords to make_rs_code(k, n) (same generator), but
+/// encode/decode run a precomputed bitmatrix-derived XOR program over
+/// bit-planes instead of GF(256) table multiplies. MDS (k' == k).
+std::unique_ptr<ErasureCode> make_xorsched_code(std::size_t k, std::size_t n);
+
+/// Number of local parity groups the LRC construction uses for (k, n): the
+/// largest divisor of k that is <= (n - k) / 2, or 0 when n - k < 2 (too few
+/// parities for locality to pay — all parities are plain global RS rows).
+std::size_t lrc_group_count(std::size_t k, std::size_t n);
+
+/// Decode-path counters of an LrcCode instance. Counters are cumulative
+/// since construction (or the last lrc_stats_reset) and thread-safe; cached
+/// instances aggregate across every simulation sharing them.
+struct LrcStats {
+  std::uint64_t decodes = 0;        ///< decode() calls that returned blocks
+  std::uint64_t local_repairs = 0;  ///< single-erasure group repairs done
+  std::uint64_t local_only_decodes = 0;  ///< decodes with no k-wide solve
+  std::uint64_t full_solves = 0;         ///< decodes that ran a k-wide solve
+};
+
+/// Snapshot of an LrcCode's counters; nullopt for any other codec.
+std::optional<LrcStats> lrc_stats(const ErasureCode& code);
+
+/// Zeroes an LrcCode's counters; no-op for any other codec.
+void lrc_stats_reset(const ErasureCode& code);
+
+/// Parses "rs", "rlc2", "rlc256", "lt", "lrc", "xorsched" — used by
+/// example/bench CLI flags and scenario files.
+enum class CodecKind { kReedSolomon, kRlcGf2, kRlcGf256, kLt, kLrc,
+                       kXorSchedule };
 std::optional<CodecKind> parse_codec_kind(const std::string& name);
 std::unique_ptr<ErasureCode> make_code(CodecKind kind, std::size_t k,
                                        std::size_t n, std::size_t delta,
@@ -89,7 +134,8 @@ std::unique_ptr<ErasureCode> make_code(CodecKind kind, std::size_t k,
 /// Carlo trial of the bench harnesses — can share one generator matrix
 /// instead of rebuilding the Cauchy/RLC construction per node. Codecs are
 /// deterministic and stateless after construction, hence safe to share.
-/// Seed-independent kinds (Reed-Solomon) canonicalize delta/seed in the key.
+/// Seed-independent kinds (Reed-Solomon, LRC, XOR-schedule) canonicalize
+/// delta/seed in the key, so all spellings share one instance.
 /// Thread-safe; entries live for the process lifetime (a handful of small
 /// matrices).
 std::shared_ptr<const ErasureCode> make_code_cached(CodecKind kind,

@@ -27,6 +27,8 @@ const char* codec_name(erasure::CodecKind k) {
     case erasure::CodecKind::kRlcGf2: return "rlc2";
     case erasure::CodecKind::kRlcGf256: return "rlc256";
     case erasure::CodecKind::kLt: return "lt";
+    case erasure::CodecKind::kLrc: return "lrc";
+    case erasure::CodecKind::kXorSchedule: return "xorsched";
   }
   return "?";
 }

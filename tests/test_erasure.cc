@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <iterator>
 #include <numeric>
+#include <string>
+#include <thread>
 
 #include "erasure/code.h"
 #include "erasure/gf256.h"
@@ -489,6 +493,281 @@ TEST(LtCode, RegistryExposesIt) {
   auto code = make_code(CodecKind::kLt, 8, 24, 4, 3);
   EXPECT_EQ(code->name(), "lt");
   EXPECT_EQ(code->decode_threshold(), 12u);
+}
+
+}  // namespace
+}  // namespace lrs::erasure
+// NOTE: LRC + XOR-schedule backend tests (PR 8): golden parity bytes, local
+// repair stats, decode fuzz, and codec-cache canonicalization/thread tests.
+namespace lrs::erasure {
+namespace {
+
+std::vector<Bytes> pattern_blocks(std::size_t k, std::size_t len) {
+  std::vector<Bytes> blocks(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    blocks[j].resize(len);
+    for (std::size_t i = 0; i < len; ++i)
+      blocks[j][i] = static_cast<std::uint8_t>(j * 16 + i);
+  }
+  return blocks;
+}
+
+std::string to_hex(const Bytes& b) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  for (auto v : b) {
+    s.push_back(kDigits[v >> 4]);
+    s.push_back(kDigits[v & 0xf]);
+  }
+  return s;
+}
+
+TEST(LrcCode, GroupCountRule) {
+  // Largest divisor of k that is <= (n-k)/2; 0 when fewer than 2 parities.
+  EXPECT_EQ(lrc_group_count(32, 48), 8u);  // paper geometry -> k' = 39
+  EXPECT_EQ(lrc_group_count(8, 16), 4u);   // hash page -> k' = 11
+  EXPECT_EQ(lrc_group_count(4, 8), 2u);
+  EXPECT_EQ(lrc_group_count(7, 16), 1u);  // prime k, small parity budget
+  EXPECT_EQ(lrc_group_count(6, 12), 3u);
+  EXPECT_EQ(lrc_group_count(5, 6), 0u);  // one parity: plain RS row
+  EXPECT_EQ(lrc_group_count(5, 5), 0u);  // no parity at all
+}
+
+TEST(LrcCode, ThresholdMatchesGeometry) {
+  EXPECT_EQ(make_lrc_code(32, 48)->decode_threshold(), 39u);
+  EXPECT_EQ(make_lrc_code(8, 16)->decode_threshold(), 11u);
+  EXPECT_EQ(make_lrc_code(5, 6)->decode_threshold(), 5u);
+}
+
+TEST(LrcCode, GoldenParityBytes) {
+  // Freezes the pyramid construction for (k=4, n=8): g=2 local parities
+  // (masked Cauchy row 0) then 2 global rows. A change here is a wire-format
+  // break for every deployed image.
+  auto code = make_lrc_code(4, 8);
+  const auto encoded = code->encode(pattern_blocks(4, 8));
+  EXPECT_EQ(to_hex(encoded[4]), "04397e43f0cd8ab7");  // local, group {0,1}
+  EXPECT_EQ(to_hex(encoded[5]), "a68ff4dd022b5079");  // local, group {2,3}
+  EXPECT_EQ(to_hex(encoded[6]), "854014d1bc792de8");  // global row 1
+  EXPECT_EQ(to_hex(encoded[7]), "98f858380363c3a3");  // global row 2
+}
+
+TEST(LrcCode, LocalParitiesOnlySpanTheirGroup) {
+  // Local parity of group 0 must be a function of blocks {0,1} alone.
+  auto code = make_lrc_code(4, 8);
+  auto blocks = pattern_blocks(4, 8);
+  const auto before = code->encode(blocks);
+  blocks[2][0] ^= 0xff;  // outside group 0, inside group 1
+  const auto after = code->encode(blocks);
+  EXPECT_EQ(before[4], after[4]);  // group-0 local unchanged
+  EXPECT_NE(before[5], after[5]);  // group-1 local moved
+  EXPECT_NE(before[6], after[6]);  // globals see every block
+}
+
+TEST(LrcCode, LocalRepairCountsAndResets) {
+  auto code = make_lrc_code(8, 16);  // g=4, groups of 2, locals at 8..11
+  const auto blocks = pattern_blocks(8, 12);
+  const auto encoded = code->encode(blocks);
+
+  // Drop data 3 (group 1); its local parity 9 completes the page locally.
+  std::vector<Share> shares;
+  for (std::size_t i = 0; i < 8; ++i)
+    if (i != 3) shares.push_back({i, encoded[i]});
+  shares.push_back({9, encoded[9]});
+  EXPECT_EQ(code->decode(shares).value(), blocks);
+  auto st = lrc_stats(*code);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->decodes, 1u);
+  EXPECT_EQ(st->local_repairs, 1u);
+  EXPECT_EQ(st->local_only_decodes, 1u);
+  EXPECT_EQ(st->full_solves, 0u);
+
+  // Drop both blocks of group 0: local repair cannot fire, full solve runs.
+  shares.clear();
+  for (std::size_t i = 2; i < 8; ++i) shares.push_back({i, encoded[i]});
+  for (std::size_t i = 8; i < 13; ++i) shares.push_back({i, encoded[i]});
+  EXPECT_EQ(code->decode(shares).value(), blocks);
+  st = lrc_stats(*code);
+  EXPECT_EQ(st->decodes, 2u);
+  EXPECT_EQ(st->full_solves, 1u);
+
+  lrc_stats_reset(*code);
+  st = lrc_stats(*code);
+  EXPECT_EQ(st->decodes, 0u);
+  EXPECT_EQ(st->local_repairs, 0u);
+
+  // Failed decodes are not counted as decodes.
+  EXPECT_FALSE(code->decode({}).has_value());
+  EXPECT_EQ(lrc_stats(*code)->decodes, 0u);
+}
+
+TEST(LrcCode, StatsAreNulloptForOtherCodecs) {
+  auto rs = make_rs_code(4, 8);
+  EXPECT_FALSE(lrc_stats(*rs).has_value());
+  lrc_stats_reset(*rs);  // must be a harmless no-op
+}
+
+TEST(XorschedCode, GoldenParityBytesMatchRs) {
+  // The whole point: byte-identical codewords to the table-multiply RS
+  // backend, computed through the XOR schedule.
+  auto code = make_xorsched_code(4, 8);
+  const auto encoded = code->encode(pattern_blocks(4, 8));
+  EXPECT_EQ(to_hex(encoded[4]), "74471221b88bdeed");
+  EXPECT_EQ(to_hex(encoded[5]), "695a0f3ca596c3f0");
+  EXPECT_EQ(to_hex(encoded[6]), "4e7d281b82b1e4d7");
+  EXPECT_EQ(to_hex(encoded[7]), "536035069facf9ca");
+
+  auto rs = make_rs_code(4, 8);
+  EXPECT_EQ(rs->encode(pattern_blocks(4, 8)), encoded);
+}
+
+TEST(XorschedCode, MatchesRsAcrossLengthsAndGeometries) {
+  Rng rng(314);
+  for (const auto& [k, n] : {std::pair<std::size_t, std::size_t>{1, 2},
+                            std::pair<std::size_t, std::size_t>{8, 16},
+                            std::pair<std::size_t, std::size_t>{32, 48}}) {
+    for (std::size_t len : {std::size_t{1}, std::size_t{37}, std::size_t{64},
+                            std::size_t{513}}) {
+      std::vector<Bytes> blocks(k);
+      for (auto& b : blocks) {
+        b.resize(len);
+        for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform(256));
+      }
+      const auto ex = make_xorsched_code(k, n)->encode(blocks);
+      const auto er = make_rs_code(k, n)->encode(blocks);
+      EXPECT_EQ(ex, er) << "k=" << k << " n=" << n << " len=" << len;
+    }
+  }
+}
+
+TEST(XorschedCode, RegistryExposesIt) {
+  EXPECT_EQ(parse_codec_kind("xorsched"), CodecKind::kXorSchedule);
+  EXPECT_EQ(parse_codec_kind("lrc"), CodecKind::kLrc);
+  auto xs = make_code(CodecKind::kXorSchedule, 8, 16, 3, 99);
+  EXPECT_EQ(xs->name(), "xorsched");
+  EXPECT_EQ(xs->decode_threshold(), 8u);  // MDS: delta ignored
+  auto lrc = make_code(CodecKind::kLrc, 8, 16, 3, 99);
+  EXPECT_EQ(lrc->name(), "lrc");
+  EXPECT_EQ(lrc->decode_threshold(), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic decode fuzz: malformed shares must return nullopt or throw
+// std::logic_error (LRS_CHECK), never read out of bounds.
+// ---------------------------------------------------------------------------
+
+TEST(DecodeFuzz, MalformedSharesFailCleanly) {
+  const CodecKind kinds[] = {CodecKind::kReedSolomon, CodecKind::kRlcGf2,
+                             CodecKind::kRlcGf256,    CodecKind::kLt,
+                             CodecKind::kLrc,         CodecKind::kXorSchedule};
+  for (std::size_t ki = 0; ki < std::size(kinds); ++ki) {
+    auto code = make_code(kinds[ki], 8, 16, 2, 5);
+    std::vector<Bytes> blocks(8);
+    Rng init(1000 + ki);
+    for (auto& b : blocks) {
+      b.resize(12);
+      for (auto& v : b) v = static_cast<std::uint8_t>(init.uniform(256));
+    }
+    const auto encoded = code->encode(blocks);
+    Rng rng(2000 + ki);
+    int clean = 0, thrown = 0;
+    for (int t = 0; t < 300; ++t) {
+      // Random subset with duplicates allowed, then one random corruption.
+      std::vector<Share> shares;
+      const std::size_t cnt = rng.uniform(20);
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const std::size_t idx = rng.uniform(16);
+        shares.push_back({idx, encoded[idx]});
+      }
+      if (!shares.empty()) {
+        auto& victim = shares[rng.uniform(shares.size())];
+        switch (rng.uniform(4)) {
+          case 0:
+            break;  // clean subset
+          case 1:  // truncated block
+            victim.data.resize(rng.uniform(victim.data.size() + 1));
+            break;
+          case 2:  // oversized block
+            victim.data.resize(victim.data.size() + 1 + rng.uniform(32),
+                               0xAB);
+            break;
+          case 3:  // out-of-range index
+            victim.index = 16 + rng.uniform(1000);
+            break;
+        }
+      }
+      try {
+        const auto decoded = code->decode(shares);
+        if (decoded.has_value()) {
+          ASSERT_EQ(decoded->size(), 8u);
+          for (const auto& b : *decoded) ASSERT_FALSE(b.empty());
+        }
+        ++clean;
+      } catch (const std::logic_error&) {
+        ++thrown;  // LRS_CHECK rejection is the contract for malformed input
+      }
+    }
+    EXPECT_GT(clean, 0) << "kind " << ki;
+    EXPECT_GT(thrown, 0) << "kind " << ki;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec cache: canonicalization of the new seed-independent kinds, and the
+// thread-hammer the TSan CI job runs.
+// ---------------------------------------------------------------------------
+
+TEST(CodecCache, CanonicalizesLrcAndXorschedSpellings) {
+  codec_cache_clear();
+  auto a = make_code_cached(CodecKind::kLrc, 8, 16, 0, 0);
+  auto b = make_code_cached(CodecKind::kLrc, 8, 16, 3, 0xdeadbeef);
+  EXPECT_EQ(a.get(), b.get());
+  auto c = make_code_cached(CodecKind::kXorSchedule, 8, 16, 0, 0);
+  auto d = make_code_cached(CodecKind::kXorSchedule, 8, 16, 7, 42);
+  EXPECT_EQ(c.get(), d.get());
+  EXPECT_NE(a.get(), c.get());  // kinds stay distinct entries
+  EXPECT_EQ(codec_cache_size(), 2u);
+  codec_cache_clear();
+}
+
+TEST(CodecCache, ThreadHammerSharedInstances) {
+  // Many threads resolve differing spellings of the same canonical codecs
+  // and decode through the shared LRC instance (its stat counters are the
+  // only mutable state). Run under TSan in CI.
+  codec_cache_clear();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 25;
+  std::vector<Bytes> blocks(8);
+  for (std::size_t j = 0; j < 8; ++j) blocks[j] = Bytes(16, std::uint8_t(j));
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &blocks, &failures] {
+      for (int i = 0; i < kIters; ++i) {
+        auto lrc = make_code_cached(CodecKind::kLrc, 8, 16,
+                                    static_cast<std::size_t>(i % 3),
+                                    static_cast<std::uint64_t>(t));
+        auto xs = make_code_cached(CodecKind::kXorSchedule, 8, 16,
+                                   static_cast<std::size_t>(i % 2),
+                                   static_cast<std::uint64_t>(t * 31 + i));
+        const auto enc = lrc->encode(blocks);
+        std::vector<Share> shares;
+        for (std::size_t s = 1; s < 8; ++s) shares.push_back({s, enc[s]});
+        shares.push_back({8, enc[8]});  // local parity of group {0,1}
+        const auto dec = lrc->decode(shares);
+        if (!dec.has_value() || *dec != blocks) failures.fetch_add(1);
+        const auto enc2 = xs->encode(blocks);
+        if (enc2.size() != 16) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(codec_cache_size(), 2u);
+  const auto st = lrc_stats(*make_code_cached(CodecKind::kLrc, 8, 16, 0, 0));
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->decodes, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(st->local_repairs, static_cast<std::uint64_t>(kThreads) * kIters);
+  codec_cache_clear();
 }
 
 }  // namespace
