@@ -98,11 +98,18 @@ int run(int argc, char** argv) {
   }
   trace.timeseries_path = args.get("timeseries", "");
   trace.all_trials = args.get_bool("trace-all", false);
+  const std::string metrics = args.get("metrics", "");
+  const double metrics_heartbeat = args.get_double("metrics-heartbeat", 0.0);
 
   bool bad = repeats_flag < 0 || jobs_flag < 0;
   if (trace.all_trials && trace.events_path.empty() &&
       trace.timeseries_path.empty()) {
     std::cerr << "error: --trace-all needs --trace and/or --timeseries\n";
+    bad = true;
+  }
+  if (metrics_heartbeat < 0 || (metrics_heartbeat > 0 && metrics.empty())) {
+    std::cerr << "error: --metrics-heartbeat needs --metrics=FILE and a"
+                 " positive period\n";
     bad = true;
   }
   for (const auto& e : args.errors()) {
@@ -117,9 +124,11 @@ int run(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " [files-or-dirs...] [--repeats=R] [--jobs=J] [--quick]"
                  " [--list] [--trace=T.jsonl] [--timeseries=TS.json]"
-                 " [--trace-all]\n";
+                 " [--trace-all] [--metrics=M.json]"
+                 " [--metrics-heartbeat=S]\n";
     return 2;
   }
+  bench::arm_metrics_export(metrics, metrics_heartbeat);
   const std::size_t jobs = static_cast<std::size_t>(jobs_flag);
 
   const auto paths = collect_paths(args.positional());

@@ -25,6 +25,7 @@
 #include "erasure/gf256_kernels.h"
 #include "core/provenance.h"
 #include "erasure/matrix.h"
+#include "sim/stats/stats.h"
 #include "util/rng.h"
 
 namespace {
@@ -352,15 +353,17 @@ void append_codec_sweep(std::vector<SweepResult>& results) {
 
 /// Monte Carlo local-repair hit rate: i.i.d. packet loss at the Fig. 6
 /// points, decode from the survivors, count how often the page completed
-/// without a k-wide solve. Uses a private (uncached) instance so the
-/// counters belong to this measurement alone.
+/// without a k-wide solve. The counters live in the process-wide metrics
+/// registry, so each loss point resets them before its trial loop.
 void append_local_repair_rates(std::vector<SweepResult>& results) {
+  stats::set_enabled(true);
   const struct {
     double p;
     const char* label;
   } losses[] = {{0.05, "0.05"}, {0.1, "0.1"}, {0.2, "0.2"}};
   for (const auto& loss : losses) {
     auto code = make_lrc_code(32, 48);
+    lrc_stats_reset(*code);
     const auto blocks = random_blocks(32, 64, 6);
     const auto encoded = code->encode(blocks);
     Rng rng(static_cast<std::uint64_t>(loss.p * 1000) + 9);

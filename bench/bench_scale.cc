@@ -13,20 +13,25 @@
 //   ./bench_scale --scales=geo-10k
 //
 // Flags: --repeats=R (override each scenario's trial block), --jobs=J,
-// --scenario-dir=D (default scenarios/), --list, and the regression gate:
-// --baseline=BENCH_scale.json [--gate=0.20] compares events/sec per ladder
-// row against a previous artifact and exits 1 when any row regressed more
-// than the gate fraction.
+// --scenario-dir=D (default scenarios/), --list, --metrics=M.json
+// [--metrics-heartbeat=S] (runtime metrics export, bench/common.h), and the
+// regression gate: --baseline=BENCH_scale.json [--gate=0.20] compares
+// events/sec per ladder row against a previous artifact and exits 1 when
+// any row regressed more than the gate fraction.
 //
 // Column contract (docs/performance.md): every column up to and including
 // "expected" is a pure function of (scenario, seed) and must be
 // byte-identical for any worker count — CI diffs them serial vs LRS_JOBS.
+// That includes the island-executor columns: "islands" is the radio-island
+// count and "imbalance" the max/mean per-island event-load ratio (1.0 for
+// single-island rungs), both derived from deterministic event counts.
 // The trailing wall_s / events_per_sec / peak_rss_mb columns are
 // machine-dependent timing and are excluded from determinism comparisons.
 // peak_rss_mb is per rung: the kernel's RSS high-water mark is reset
 // (/proc/self/clear_refs) before each scenario and read back at KiB
-// resolution (VmHWM), so small rungs no longer inherit — and tie at — the
-// process-lifetime maximum of whatever ran before them.
+// resolution (VmHWM, printed with matching precision), so small rungs no
+// longer inherit — and tie at — the process-lifetime maximum of whatever
+// ran before them.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -186,8 +191,15 @@ int run(int argc, char** argv) {
   const std::string scales_flag = args.get("scales", "");
   const std::string baseline_path = args.get("baseline", "");
   const double gate = args.get_double("gate", 0.20);
+  const std::string metrics = args.get("metrics", "");
+  const double metrics_heartbeat = args.get_double("metrics-heartbeat", 0.0);
 
   bool bad = repeats_flag < 0 || jobs_flag < 0 || gate < 0.0 || gate >= 1.0;
+  if (metrics_heartbeat < 0 || (metrics_heartbeat > 0 && metrics.empty())) {
+    std::cerr << "error: --metrics-heartbeat needs --metrics=FILE and a"
+                 " positive period\n";
+    bad = true;
+  }
   for (const auto& e : args.errors()) {
     std::cerr << "error: " << e << "\n";
     bad = true;
@@ -204,9 +216,10 @@ int run(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " [--quick] [--scales=a,b] [--repeats=R] [--jobs=J]"
                  " [--scenario-dir=D] [--baseline=F.json] [--gate=0.20]"
-                 " [--list]\n";
+                 " [--metrics=M.json] [--metrics-heartbeat=S] [--list]\n";
     return 2;
   }
+  bench::arm_metrics_export(metrics, metrics_heartbeat);
 
   const std::vector<std::string> ladder =
       !scales_flag.empty() ? split_csv_list(scales_flag)
@@ -238,8 +251,9 @@ int run(int argc, char** argv) {
 
   Table table({"scenario", "nodes", "mean_degree", "repeats", "events",
                "data_pkts", "snack_pkts", "adv_pkts", "total_bytes",
-               "recv_bytes", "latency_s", "min_completed", "expected",
-               "wall_s", "events_per_sec", "peak_rss_mb"});
+               "recv_bytes", "latency_s", "min_completed", "islands",
+               "imbalance", "expected", "wall_s", "events_per_sec",
+               "peak_rss_mb"});
   bool all_complete = true;
 
   for (const auto& s : library) {
@@ -276,6 +290,17 @@ int run(int argc, char** argv) {
                 << s.expected_complete() << " expected receivers finished\n";
     }
 
+    // Deterministic load attribution for the island-executor rungs:
+    // max/mean per-island event-load ratio, exactly 1.0 when the rung runs
+    // the classic single-simulator path. Both factors are trial sums, so
+    // the ratio is the trial-weighted imbalance.
+    const double imbalance =
+        avg.events_executed == 0
+            ? 1.0
+            : static_cast<double>(avg.max_island_events) *
+                  static_cast<double>(avg.islands) /
+                  static_cast<double>(avg.events_executed);
+
     table.add_row({s.name, std::to_string(s.topo.node_count()),
                    format_num(degree, 1), std::to_string(repeats),
                    std::to_string(events),
@@ -286,10 +311,12 @@ int run(int argc, char** argv) {
                    format_num(static_cast<double>(avg.received_bytes)),
                    format_num(avg.latency_s, 1),
                    std::to_string(min_completed),
+                   std::to_string(avg.islands),
+                   format_num(imbalance, 3),
                    std::to_string(s.expected_complete()),
                    format_num(wall, 3),
                    format_num(static_cast<double>(events) / wall),
-                   format_num(peak_rss_mb(), 1)});
+                   format_num(peak_rss_mb(), 3)});
   }
 
   bench::print_table("simulator scale ladder", table);

@@ -267,9 +267,16 @@ int run_sweep(int argc, char** argv) {
     trace.chrome_path = bench::chrome_trace_path(trace.events_path);
   }
   trace.timeseries_path = args.get("timeseries", "");
+  const std::string metrics = args.get("metrics", "");
+  const double metrics_heartbeat = args.get_double("metrics-heartbeat", 0.0);
   bool bad = seeds_flag < 1 || jobs_flag < 0;
   if (!only_scheme.empty() && !parse_scheme(only_scheme)) {
     std::cerr << "error: unknown scheme '" << only_scheme << "'\n";
+    bad = true;
+  }
+  if (metrics_heartbeat < 0 || (metrics_heartbeat > 0 && metrics.empty())) {
+    std::cerr << "error: --metrics-heartbeat needs --metrics=FILE and a"
+                 " positive period\n";
     bad = true;
   }
   for (const auto& e : args.errors()) {
@@ -284,9 +291,11 @@ int run_sweep(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " [--seeds=N] [--jobs=J] [--quick] [--scheme=S]"
               << " [--replay=<scheme>:<plan>:<seed>]"
-              << " [--trace=T.jsonl] [--timeseries=TS.json]\n";
+              << " [--trace=T.jsonl] [--timeseries=TS.json]"
+              << " [--metrics=M.json] [--metrics-heartbeat=S]\n";
     return 2;
   }
+  bench::arm_metrics_export(metrics, metrics_heartbeat);
   if (!replay_spec.empty()) return replay(replay_spec, trace);
 
   const std::size_t seeds = static_cast<std::size_t>(seeds_flag);

@@ -16,6 +16,7 @@
 #include "core/provenance.h"
 #include "core/run_trials.h"
 #include "sim/scenario/scenario.h"
+#include "sim/stats/stats.h"
 #include "util/args.h"
 #include "util/csv.h"
 
@@ -39,6 +40,12 @@ namespace lrs::bench {
 ///                  the one declared in scenario file F (scenarios/*.scn,
 ///                  docs/scenarios.md) — the harness keeps sweeping its own
 ///                  scheme/parameter axis on the scenario's network
+///   --metrics=M    enable the runtime metrics registry (sim/stats) and
+///                  write its JSON export to M at exit ("-" = stdout);
+///                  deterministic counters stay byte-identical across
+///                  LRS_JOBS settings, timing columns do not
+///   --metrics-heartbeat=S  with --metrics: print a progress line to
+///                  stderr every S seconds (long-run liveness signal)
 struct BenchOptions {
   std::size_t repeats = 3;
   std::size_t jobs = 0;  // 0 = core::default_jobs()
@@ -47,6 +54,8 @@ struct BenchOptions {
   std::string timeseries;  // progress time-series path; empty = none
   bool trace_all = false;
   std::string scenario;    // .scn file overriding the deployment; empty = none
+  std::string metrics;     // metrics JSON export path; empty = disabled
+  double metrics_heartbeat = 0.0;  // stderr heartbeat period, 0 = off
 };
 
 /// "t.jsonl" -> "t.chrome.json" (tag appended when there is no extension).
@@ -72,6 +81,24 @@ inline sim::TraceExportConfig trace_config(const BenchOptions& opt) {
   return t;
 }
 
+/// Arms the metrics registry per --metrics/--metrics-heartbeat: enables
+/// recording, zeroes any registration-time residue, optionally starts the
+/// heartbeat thread, and registers an atexit export so every exit path
+/// (including std::exit from a later usage error) writes the file. Safe to
+/// call with an empty path (no-op) and from raw-Args harnesses.
+inline void arm_metrics_export(const std::string& path,
+                               double heartbeat_period_s) {
+  if (path.empty()) return;
+  static std::string g_path;  // handler state: atexit takes no capture
+  g_path = path;
+  stats::Registry::instance().reset_values();
+  stats::set_enabled(true);
+  if (heartbeat_period_s > 0) stats::start_heartbeat(heartbeat_period_s);
+  std::atexit([] {
+    stats::write_metrics_json(g_path, core::provenance_json("  "));
+  });
+}
+
 inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                                         std::size_t default_repeats) {
   Args args(argc, argv);
@@ -85,9 +112,17 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   opt.timeseries = args.get("timeseries", "");
   opt.trace_all = args.get_bool("trace-all", false);
   opt.scenario = args.get("scenario", "");
+  opt.metrics = args.get("metrics", "");
+  opt.metrics_heartbeat = args.get_double("metrics-heartbeat", 0.0);
   bool bad = repeats < 1 || jobs < 0;
   if (opt.trace_all && opt.trace.empty() && opt.timeseries.empty()) {
     std::cerr << "error: --trace-all needs --trace and/or --timeseries\n";
+    bad = true;
+  }
+  if (opt.metrics_heartbeat < 0 ||
+      (opt.metrics_heartbeat > 0 && opt.metrics.empty())) {
+    std::cerr << "error: --metrics-heartbeat needs --metrics=FILE and a"
+                 " positive period\n";
     bad = true;
   }
   for (const auto& e : args.errors()) {
@@ -102,11 +137,13 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
     std::cerr << "usage: " << argv[0]
               << " [--repeats=R] [--jobs=J] [--quick] [--trace=T.jsonl]"
                  " [--timeseries=TS.json] [--trace-all]"
-                 " [--scenario=F.scn]\n";
+                 " [--scenario=F.scn] [--metrics=M.json]"
+                 " [--metrics-heartbeat=S]\n";
     std::exit(2);
   }
   opt.repeats = static_cast<std::size_t>(repeats);
   opt.jobs = static_cast<std::size_t>(jobs);
+  arm_metrics_export(opt.metrics, opt.metrics_heartbeat);
   return opt;
 }
 

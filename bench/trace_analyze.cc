@@ -14,15 +14,31 @@
 // parse as a known event, re-serialize byte-identically (so the file was
 // produced by, not merely resembles, TraceEvent::to_jsonl) and carry a
 // non-decreasing timestamp. Exit 0 on success, 1 on the first violation.
+//
+// --metrics-check=M.json validates a --metrics export (sim/stats,
+// "lrs-metrics-v1"): schema tag and section layout, histogram invariants
+// (count equals the bucket total, canonical strictly-increasing bucket
+// bounds, min/max land in the first/last occupied bucket) and the
+// counter cross-check sim.queue.pop == core.events_executed. With a
+// trace JSONL as the positional argument it also cross-checks
+// sim.trace.events against the trace's line count — the two files must
+// come from the same run:
+//
+//   ./bench/trace_analyze --metrics-check=m.json [t.jsonl]
 #include <algorithm>
 #include <array>
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "sim/stats/stats.h"
 #include "sim/trace.h"
 #include "util/args.h"
 #include "util/csv.h"
@@ -60,6 +76,428 @@ int check(const std::string& path, const std::vector<std::string>& lines) {
     ++n;
   }
   std::cout << "OK: " << n << " events, schema-valid, time-ordered\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --metrics-check: minimal JSON model + recursive-descent parser. Only what
+// the metrics schema needs — no surrogate pairs, no extension syntax — but
+// strict about structure so a truncated or hand-edited file fails loudly.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  // number token verbatim: counters need u64 exactness
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;  // insertion order
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool is(Kind k) const { return kind == k; }
+  /// The number token as an exact u64; nullopt for signs/fractions/overflow.
+  std::optional<std::uint64_t> as_u64() const {
+    if (kind != Kind::kNumber || raw.empty()) return std::nullopt;
+    for (char c : raw) {
+      if (c < '0' || c > '9') return std::nullopt;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+    if (errno != 0 || end != raw.c_str() + raw.size()) return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  std::optional<Json> parse() {
+    auto v = value();
+    skip_ws();
+    if (!v || pos_ != s_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string_token() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return std::nullopt;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // ASCII only; anything else degrades to '?' (names are ASCII).
+            out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return std::nullopt;
+    const char c = s_[pos_];
+    Json v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = Json::Kind::kObject;
+      skip_ws();
+      if (eat('}')) return v;
+      while (true) {
+        auto key = string_token();
+        if (!key || !eat(':')) return std::nullopt;
+        auto child = value();
+        if (!child) return std::nullopt;
+        v.object.emplace_back(std::move(*key), std::move(*child));
+        if (eat(',')) continue;
+        if (eat('}')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = Json::Kind::kArray;
+      skip_ws();
+      if (eat(']')) return v;
+      while (true) {
+        auto child = value();
+        if (!child) return std::nullopt;
+        v.array.push_back(std::move(*child));
+        if (eat(',')) continue;
+        if (eat(']')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = string_token();
+      if (!s) return std::nullopt;
+      v.kind = Json::Kind::kString;
+      v.str = std::move(*s);
+      return v;
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v.kind = Json::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v.kind = Json::Kind::kBool;
+      return v;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return v;  // kNull
+    }
+    // Number: [-]digits[.digits][(e|E)[+-]digits]
+    const std::size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && c == '-')) return std::nullopt;
+    v.kind = Json::Kind::kNumber;
+    v.raw = s_.substr(start, pos_ - start);
+    try {
+      v.number = std::stod(v.raw);
+    } catch (...) {
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// One validation failure: prints and counts. Returns false for use in
+/// early-out expressions.
+struct MetricsCheck {
+  const std::string& path;
+  int failures = 0;
+  bool fail(const std::string& what) {
+    std::cerr << path << ": " << what << "\n";
+    ++failures;
+    return false;
+  }
+};
+
+bool check_histogram(MetricsCheck& mc, const std::string& name,
+                     const Json& h) {
+  const Json* count = h.find("count");
+  const Json* sum = h.find("sum");
+  const Json* min = h.find("min");
+  const Json* max = h.find("max");
+  const Json* buckets = h.find("buckets");
+  if (!count || !count->as_u64() || !sum || !sum->as_u64() || !min ||
+      !min->as_u64() || !max || !max->as_u64() || !buckets ||
+      !buckets->is(Json::Kind::kArray)) {
+    return mc.fail("histogram " + name +
+                   ": needs u64 count/sum/min/max and a buckets array");
+  }
+  const std::uint64_t n = *count->as_u64();
+  std::uint64_t bucket_total = 0;
+  std::uint64_t prev_lb = 0;
+  bool first = true;
+  std::uint64_t first_lb = 0, last_lb = 0;
+  for (const Json& pair : buckets->array) {
+    if (!pair.is(Json::Kind::kArray) || pair.array.size() != 2 ||
+        !pair.array[0].as_u64() || !pair.array[1].as_u64()) {
+      return mc.fail("histogram " + name +
+                     ": buckets must be [lower_bound, count] u64 pairs");
+    }
+    const std::uint64_t lb = *pair.array[0].as_u64();
+    const std::uint64_t bn = *pair.array[1].as_u64();
+    if (bn == 0) {
+      return mc.fail("histogram " + name + ": empty bucket at " +
+                     std::to_string(lb) + " must be omitted");
+    }
+    // Canonical boundary: the lower bound must round-trip through the
+    // bucket math the recorder uses.
+    using stats::Histogram;
+    if (Histogram::bucket_lower_bound(Histogram::bucket_index(lb)) != lb) {
+      return mc.fail("histogram " + name + ": " + std::to_string(lb) +
+                     " is not a canonical bucket boundary");
+    }
+    if (!first && lb <= prev_lb) {
+      return mc.fail("histogram " + name +
+                     ": bucket bounds not strictly increasing at " +
+                     std::to_string(lb));
+    }
+    if (first) first_lb = lb;
+    last_lb = lb;
+    first = false;
+    prev_lb = lb;
+    bucket_total += bn;
+  }
+  if (bucket_total != n) {
+    return mc.fail("histogram " + name + ": count " + std::to_string(n) +
+                   " != bucket total " + std::to_string(bucket_total));
+  }
+  if (n > 0) {
+    using stats::Histogram;
+    const std::uint64_t mn = *min->as_u64();
+    const std::uint64_t mx = *max->as_u64();
+    if (mn > mx) {
+      return mc.fail("histogram " + name + ": min > max");
+    }
+    if (Histogram::bucket_index(mn) != Histogram::bucket_index(first_lb) ||
+        Histogram::bucket_index(mx) != Histogram::bucket_index(last_lb)) {
+      return mc.fail("histogram " + name +
+                     ": min/max outside the first/last occupied bucket");
+    }
+  } else if (!buckets->array.empty()) {
+    return mc.fail("histogram " + name + ": zero count with buckets");
+  }
+  return true;
+}
+
+int metrics_check(const std::string& path, const std::string& trace_path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const auto doc = JsonParser(text).parse();
+  MetricsCheck mc{path};
+  if (!doc || !doc->is(Json::Kind::kObject)) {
+    mc.fail("not a JSON object");
+    return 1;
+  }
+
+  const Json* schema = doc->find("schema");
+  if (!schema || !schema->is(Json::Kind::kString) ||
+      schema->str != "lrs-metrics-v1") {
+    mc.fail("schema tag missing or not \"lrs-metrics-v1\"");
+  }
+  const Json* enabled = doc->find("enabled");
+  if (!enabled || !enabled->is(Json::Kind::kBool)) {
+    mc.fail("\"enabled\" missing or not a boolean");
+  }
+  if (!doc->find("provenance")) mc.fail("\"provenance\" missing");
+
+  const Json* det = doc->find("deterministic");
+  const Json* counters = nullptr;
+  if (!det || !det->is(Json::Kind::kObject)) {
+    mc.fail("\"deterministic\" section missing");
+  } else {
+    counters = det->find("counters");
+    if (!counters || !counters->is(Json::Kind::kObject)) {
+      mc.fail("deterministic.counters missing");
+      counters = nullptr;
+    } else {
+      for (const auto& [name, v] : counters->object) {
+        if (!v.as_u64()) mc.fail("counter " + name + " is not a u64");
+      }
+    }
+    const Json* hists = det->find("histograms");
+    if (!hists || !hists->is(Json::Kind::kObject)) {
+      mc.fail("deterministic.histograms missing");
+    } else {
+      for (const auto& [name, h] : hists->object) {
+        if (!h.is(Json::Kind::kObject)) {
+          mc.fail("histogram " + name + " is not an object");
+          continue;
+        }
+        check_histogram(mc, name, h);
+      }
+    }
+  }
+
+  const Json* timing = doc->find("timing");
+  if (!timing || !timing->is(Json::Kind::kObject)) {
+    mc.fail("\"timing\" section missing");
+  } else {
+    for (const char* key :
+         {"wall_ns", "tsc_hz", "attributed_ns", "attributed_frac"}) {
+      const Json* v = timing->find(key);
+      if (!v || !v->is(Json::Kind::kNumber)) {
+        mc.fail(std::string("timing.") + key + " missing or non-numeric");
+      }
+    }
+    const Json* scopes = timing->find("scopes");
+    if (!scopes || !scopes->is(Json::Kind::kObject)) {
+      mc.fail("timing.scopes missing");
+    } else if (counters) {
+      // A deterministic timer's call count is mirrored into the
+      // deterministic section as "<name>.calls" and the two sections must
+      // agree; a deterministic=false scope (beneath a schedule-dependent
+      // cache) must NOT leak its calls into the deterministic section.
+      for (const auto& [name, s] : scopes->object) {
+        const Json* calls = s.find("calls");
+        const Json* det_flag = s.find("deterministic");
+        if (!det_flag || !det_flag->is(Json::Kind::kBool)) {
+          mc.fail("scope " + name + ": \"deterministic\" flag missing");
+          continue;
+        }
+        const Json* mirrored = counters->find(name + ".calls");
+        if (!det_flag->boolean) {
+          if (mirrored) {
+            mc.fail("scope " + name +
+                    ": nondeterministic but mirrored into counters");
+          }
+          continue;
+        }
+        if (!calls || !calls->as_u64() || !mirrored || !mirrored->as_u64()) {
+          mc.fail("scope " + name + ": calls not mirrored into counters");
+          continue;
+        }
+        if (*calls->as_u64() != *mirrored->as_u64()) {
+          mc.fail("scope " + name + ": timing calls " + calls->raw +
+                  " != deterministic " + name + ".calls " + mirrored->raw);
+        }
+      }
+    }
+  }
+
+  // Cross-checks between independently-maintained counters.
+  std::uint64_t trace_events_counter = 0;
+  bool have_trace_counter = false;
+  if (counters) {
+    const Json* pop = counters->find("sim.queue.pop");
+    const Json* executed = counters->find("core.events_executed");
+    if (pop && executed && pop->as_u64() && executed->as_u64() &&
+        *pop->as_u64() != *executed->as_u64()) {
+      mc.fail("sim.queue.pop " + pop->raw + " != core.events_executed " +
+              executed->raw);
+    }
+    if (const Json* te = counters->find("sim.trace.events");
+        te && te->as_u64()) {
+      trace_events_counter = *te->as_u64();
+      have_trace_counter = true;
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ifstream tin(trace_path, std::ios::binary);
+    if (!tin) {
+      mc.fail("cannot open trace " + trace_path);
+    } else {
+      std::uint64_t lines = 0;
+      for (std::string line; std::getline(tin, line);) {
+        if (!line.empty()) ++lines;
+      }
+      if (!have_trace_counter) {
+        mc.fail("trace given but sim.trace.events counter missing");
+      } else if (trace_events_counter != lines) {
+        mc.fail("sim.trace.events " + std::to_string(trace_events_counter) +
+                " != trace line count " + std::to_string(lines) + " (" +
+                trace_path + ")");
+      }
+    }
+  }
+
+  if (mc.failures > 0) {
+    std::cerr << path << ": " << mc.failures << " metrics-check failure(s)\n";
+    return 1;
+  }
+  std::cout << "OK: metrics schema valid"
+            << (trace_path.empty() ? "" : ", trace count cross-checked")
+            << "\n";
   return 0;
 }
 
@@ -203,16 +641,30 @@ int run(int argc, char** argv) {
   // the positional path.
   const std::string check_val = args.get("check", "");
   const bool do_check = !check_val.empty() && check_val != "false";
+  const std::string metrics_path = args.get("metrics-check", "");
+  const bool do_metrics =
+      !metrics_path.empty() && metrics_path != "true" &&
+      metrics_path != "false";
   std::string path;
   if (args.positional().size() == 1) {
     path = args.positional()[0];
-  } else if (args.positional().empty() && check_val != "true" &&
-             check_val != "false") {
+  } else if (args.positional().empty() && !check_val.empty() &&
+             check_val != "true" && check_val != "false") {
     path = check_val;
   }
   const long top_k = args.get_int("top", 10);
   const double bucket_s = args.get_double("bucket", 10.0);
-  bool bad = top_k < 1 || bucket_s <= 0 || path.empty();
+  // In metrics mode the trace path is optional (it only adds the event
+  // cross-check); every other mode needs it.
+  bool bad = top_k < 1 || bucket_s <= 0 || (path.empty() && !do_metrics);
+  if (!metrics_path.empty() && !do_metrics) {
+    std::cerr << "error: --metrics-check needs a file argument\n";
+    bad = true;
+  }
+  if (do_metrics && do_check) {
+    std::cerr << "error: --check and --metrics-check are exclusive\n";
+    bad = true;
+  }
   for (const auto& e : args.errors()) {
     std::cerr << "error: " << e << "\n";
     bad = true;
@@ -223,9 +675,13 @@ int run(int argc, char** argv) {
   }
   if (bad) {
     std::cerr << "usage: " << argv[0]
-              << " [--check] [--top=K] [--bucket=SECONDS] trace.jsonl\n";
+              << " [--check] [--top=K] [--bucket=SECONDS] trace.jsonl\n"
+                 "       "
+              << argv[0] << " --metrics-check=metrics.json [trace.jsonl]\n";
     return 2;
   }
+
+  if (do_metrics) return metrics_check(metrics_path, path);
 
   std::ifstream in(path, std::ios::binary);
   if (!in) {

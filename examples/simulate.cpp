@@ -12,6 +12,8 @@
 #include <string>
 
 #include "core/experiment.h"
+#include "core/provenance.h"
+#include "sim/stats/stats.h"
 #include "util/args.h"
 
 using namespace lrs;
@@ -40,7 +42,10 @@ void usage() {
       "  --trace P       structured event trace of the first run: JSONL to\n"
       "                  P plus a Chrome-trace twin at P's .chrome.json\n"
       "  --timeseries P  sampled progress counters (JSON) of the first run\n"
-      "  (trace format spec: docs/observability.md)\n");
+      "  --metrics P     runtime metrics/profiling JSON to P ('-' = stdout)\n"
+      "  --metrics-heartbeat S   with --metrics: stderr progress line\n"
+      "                  every S seconds\n"
+      "  (trace and metrics format spec: docs/observability.md)\n");
 }
 
 std::optional<Scheme> parse_scheme(const std::string& s) {
@@ -107,13 +112,27 @@ int main(int argc, char** argv) {
         ".chrome.json";
   }
   cfg.trace.timeseries_path = args.get("timeseries", "");
+  const std::string metrics = args.get("metrics", "");
+  const double metrics_heartbeat = args.get_double("metrics-heartbeat", 0.0);
 
+  if (metrics_heartbeat < 0 || (metrics_heartbeat > 0 && metrics.empty())) {
+    std::fprintf(stderr,
+                 "--metrics-heartbeat needs --metrics P and a positive"
+                 " period\n");
+    return 2;
+  }
   if (!args.errors().empty() || !args.unknown().empty()) {
     for (const auto& e : args.errors()) std::fprintf(stderr, "%s\n", e.c_str());
     for (const auto& u : args.unknown())
       std::fprintf(stderr, "unknown flag %s\n", u.c_str());
     usage();
     return 2;
+  }
+
+  if (!metrics.empty()) {
+    stats::Registry::instance().reset_values();
+    stats::set_enabled(true);
+    if (metrics_heartbeat > 0) stats::start_heartbeat(metrics_heartbeat);
   }
 
   const auto r = run_experiment_avg(cfg, seeds);
@@ -132,5 +151,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long>(r.hash_verifications),
               static_cast<unsigned long>(r.signature_verifications),
               static_cast<unsigned long>(r.auth_failures));
+  // After the summary so that with --metrics - the document is the
+  // trailing block of stdout (matching the bench harnesses' at-exit
+  // export order).
+  if (!metrics.empty()) {
+    stats::write_metrics_json(metrics, core::provenance_json("  "));
+  }
   return r.all_complete ? 0 : 1;
 }

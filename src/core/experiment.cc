@@ -19,6 +19,7 @@
 #include "proto/seluge.h"
 #include "sim/invariants.h"
 #include "sim/partition.h"
+#include "sim/stats/stats.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -100,6 +101,12 @@ ExperimentResult run_cell(const ExperimentConfig& config, const Bytes& image,
                           std::shared_ptr<const sim::Topology> topology,
                           std::vector<NodeId> members,
                           std::unique_ptr<proto::SchemeState> source) {
+  // Top-level scope: one cell end to end (build, run, metric extraction).
+  // In island mode cells run concurrently, so accumulated scope time is
+  // CPU-time-like — it can exceed wall time under LRS_JOBS > 1.
+  static stats::Timer& cell_timer =
+      stats::Registry::instance().timer("core.run_cell", /*top_level=*/true);
+  stats::TimerScope cell_scope(cell_timer);
   const std::size_t node_count = topology->size();
 
   std::unique_ptr<sim::LossModel> loss;
@@ -228,7 +235,13 @@ ExperimentResult run_cell(const ExperimentConfig& config, const Bytes& image,
   const auto done = [&] {
     return metrics.completed_count(base) == receiver_count;
   };
-  simulator.run(config.time_limit, done);
+  {
+    // Nested (inclusive) scope: the event loop proper, inside core.run_cell.
+    static stats::Timer& run_timer =
+        stats::Registry::instance().timer("sim.run");
+    stats::TimerScope run_scope(run_timer);
+    simulator.run(config.time_limit, done);
+  }
 
   ExperimentResult r;
   r.receivers = receiver_count;
@@ -247,6 +260,15 @@ ExperimentResult run_cell(const ExperimentConfig& config, const Bytes& image,
                     : sim::to_seconds(config.time_limit);
   r.collisions = simulator.collisions();
   r.events_executed = simulator.events_executed();
+  r.max_island_events = r.events_executed;  // one cell == one island here
+  {
+    static stats::Counter& events =
+        stats::Registry::instance().counter("core.events_executed");
+    static stats::Histogram& island_events =
+        stats::Registry::instance().histogram("core.island.events");
+    events.add(r.events_executed);
+    island_events.record(r.events_executed);
+  }
   r.hash_verifications = metrics.total_hash_verifications();
   r.signature_verifications = metrics.total_signature_verifications();
   r.auth_failures = metrics.total_auth_failures();
@@ -293,10 +315,15 @@ ExperimentResult run_cell(const ExperimentConfig& config, const Bytes& image,
 /// runs everywhere concurrently); the idle-listening bound adds because
 /// every island's radios switch off at their own island's completion.
 ExperimentResult merge_islands(std::span<const ExperimentResult> parts) {
+  static stats::Timer& timer = stats::Registry::instance().timer(
+      "core.merge_islands", /*top_level=*/true);
+  stats::TimerScope scope(timer);
   ExperimentResult m;
   m.all_complete = true;
   m.images_match = true;
+  m.islands = parts.size();
   for (const ExperimentResult& r : parts) {
+    m.max_island_events = std::max(m.max_island_events, r.events_executed);
     m.all_complete = m.all_complete && r.all_complete;
     m.images_match = m.images_match && r.images_match;
     m.completed += r.completed;
@@ -360,21 +387,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       LRS_CHECK_MSG(!config.trace.enabled(),
                     "island mode does not support tracing");
 
-      // Key material: still one signer (one preloaded root) for the whole
-      // deployment, but every island's base signs its own dissemination,
-      // so the one-time-key tree must cover the island count.
-      std::size_t height = 2;
-      while ((std::size_t{1} << height) < islands.size()) ++height;
-      crypto::MultiKeySigner signer(view(key_seed), height);
-      const crypto::PacketHash root_pk = signer.root_public_key();
-
-      // Pre-sign serially in island order: the signer hands out one-time
-      // keys in sequence, so the leaf -> island assignment must never
-      // depend on worker scheduling.
       std::vector<std::unique_ptr<proto::SchemeState>> sources;
-      sources.reserve(islands.size());
-      for (std::size_t i = 0; i < islands.size(); ++i) {
-        sources.push_back(make_source_scheme(config, image, signer));
+      crypto::PacketHash root_pk{};
+      {
+        // Top-level scope: all source-side key material and signing work
+        // (serial by construction — see the pre-sign comment below).
+        static stats::Timer& source_timer = stats::Registry::instance().timer(
+            "core.source", /*top_level=*/true);
+        stats::TimerScope source_scope(source_timer);
+
+        // Key material: still one signer (one preloaded root) for the whole
+        // deployment, but every island's base signs its own dissemination,
+        // so the one-time-key tree must cover the island count.
+        std::size_t height = 2;
+        while ((std::size_t{1} << height) < islands.size()) ++height;
+        crypto::MultiKeySigner signer(view(key_seed), height);
+        root_pk = signer.root_public_key();
+
+        // Pre-sign serially in island order: the signer hands out one-time
+        // keys in sequence, so the leaf -> island assignment must never
+        // depend on worker scheduling.
+        sources.reserve(islands.size());
+        for (std::size_t i = 0; i < islands.size(); ++i) {
+          sources.push_back(make_source_scheme(config, image, signer));
+        }
       }
 
       // Each worker builds, runs and destroys its island's simulator, so
@@ -393,10 +429,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // Classic single-simulator path (also: island mode on a connected
   // topology, which is one island and must match this path exactly).
-  crypto::MultiKeySigner signer(view(key_seed), /*height=*/2);
-  const crypto::PacketHash root_pk = signer.root_public_key();
-  std::unique_ptr<proto::SchemeState> source =
-      make_source_scheme(config, image, signer);
+  std::unique_ptr<proto::SchemeState> source;
+  crypto::PacketHash root_pk{};
+  {
+    static stats::Timer& source_timer = stats::Registry::instance().timer(
+        "core.source", /*top_level=*/true);
+    stats::TimerScope source_scope(source_timer);
+    crypto::MultiKeySigner signer(view(key_seed), /*height=*/2);
+    root_pk = signer.root_public_key();
+    source = make_source_scheme(config, image, signer);
+  }
   return run_cell(config, image, root_pk, std::move(topology), {},
                   std::move(source));
 }

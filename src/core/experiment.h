@@ -104,6 +104,15 @@ struct ExperimentResult {
   /// workload denominator is wall-clock, so events/sec is the simulator
   /// throughput figure (bench_scale). Deterministic for a (config, seed).
   std::uint64_t events_executed = 0;
+  /// Island-sharded load attribution. `islands` is the number of radio
+  /// islands simulated (1 on the classic single-simulator path) and
+  /// `max_island_events` the busiest island's events_executed, so
+  /// max_island_events * islands / events_executed is the load-imbalance
+  /// ratio (max/mean, 1.0 when perfectly balanced). Both are deterministic
+  /// for a (config, seed); trial aggregation sums them alongside
+  /// events_executed so the ratio stays meaningful after averaging.
+  std::uint64_t islands = 1;
+  std::uint64_t max_island_events = 0;
   std::uint64_t hash_verifications = 0;
   std::uint64_t signature_verifications = 0;
   std::uint64_t auth_failures = 0;

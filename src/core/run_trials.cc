@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/parallel.h"
+#include "sim/stats/stats.h"
 #include "util/check.h"
 
 namespace lrs::core {
@@ -37,9 +38,13 @@ std::vector<ExperimentResult> run_trials(const ExperimentConfig& config,
 }
 
 ExperimentResult aggregate_trials(std::span<const ExperimentResult> trials) {
+  static stats::Timer& timer =
+      stats::Registry::instance().timer("core.aggregate", /*top_level=*/true);
+  stats::TimerScope scope(timer);
   const std::size_t repeats = trials.size();
   LRS_CHECK(repeats >= 1);
   ExperimentResult avg;
+  avg.max_island_events = 0;
   double data = 0, snack = 0, adv = 0, sig = 0, bytes = 0, latency = 0;
   double rbytes = 0;
   for (std::size_t i = 0; i < repeats; ++i) {
@@ -58,6 +63,10 @@ ExperimentResult aggregate_trials(std::span<const ExperimentResult> trials) {
     latency += r.latency_s;
     avg.collisions += r.collisions;
     avg.events_executed += r.events_executed;
+    // Sum alongside events_executed so max_island_events * islands /
+    // events_executed stays the (trial-weighted) max/mean imbalance ratio.
+    avg.islands = r.islands;
+    avg.max_island_events += r.max_island_events;
     avg.tx_energy_mj += r.tx_energy_mj / static_cast<double>(repeats);
     avg.rx_energy_mj += r.rx_energy_mj / static_cast<double>(repeats);
     avg.listen_energy_mj += r.listen_energy_mj / static_cast<double>(repeats);

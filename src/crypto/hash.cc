@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "crypto/sha256_kernels.h"
+#include "sim/stats/stats.h"
 #include "util/check.h"
 
 namespace lrs::crypto {
@@ -72,6 +73,17 @@ void hash_batch_uniform(const Sha256BatchKernel& kernel, const ByteView* msgs,
 }  // namespace
 
 void hash_batch(const ByteView* msgs, std::size_t count, Sha256Digest* out) {
+  // Batch-vs-oneshot attribution: how many messages rode the multi-buffer
+  // kernel vs fell back to serial hashing. The batch timer is inclusive of
+  // the fallback's crypto.sha.oneshot time.
+  static stats::Counter& batch_msgs =
+      stats::Registry::instance().counter("crypto.sha.batch_msgs");
+  static stats::Counter& simd_msgs =
+      stats::Registry::instance().counter("crypto.sha.batch_simd_msgs");
+  static stats::Timer& timer =
+      stats::Registry::instance().timer("crypto.sha.batch");
+  batch_msgs.add(count);
+  stats::TimerScope scope(timer);
   const Sha256BatchKernel* kernel = sha256_batch_kernel();
   std::size_t i = 0;
   while (i < count) {
@@ -79,6 +91,7 @@ void hash_batch(const ByteView* msgs, std::size_t count, Sha256Digest* out) {
     std::size_t run = 1;
     while (i + run < count && msgs[i + run].size() == msgs[i].size()) ++run;
     if (kernel != nullptr && run >= 2) {
+      simd_msgs.add(run);
       hash_batch_uniform(*kernel, msgs + i, run, out + i);
     } else {
       for (std::size_t j = i; j < i + run; ++j) out[j] = Sha256::hash(msgs[j]);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/stats/stats.h"
+
 namespace lrs::crypto {
 
 HmacKey::HmacKey(ByteView key) {
@@ -27,6 +29,9 @@ HmacKey::HmacKey(ByteView key) {
 }
 
 Sha256Digest hmac_sha256(const HmacKey& key, ByteView message) {
+  static stats::Timer& timer =
+      stats::Registry::instance().timer("crypto.hmac");
+  stats::TimerScope scope(timer);
   Sha256 inner = key.inner_ctx();
   const Sha256Digest inner_digest = inner.update(message).finalize();
   Sha256 outer = key.outer_ctx();

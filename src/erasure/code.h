@@ -103,9 +103,12 @@ std::unique_ptr<ErasureCode> make_xorsched_code(std::size_t k, std::size_t n);
 /// parities for locality to pay — all parities are plain global RS rows).
 std::size_t lrc_group_count(std::size_t k, std::size_t n);
 
-/// Decode-path counters of an LrcCode instance. Counters are cumulative
-/// since construction (or the last lrc_stats_reset) and thread-safe; cached
-/// instances aggregate across every simulation sharing them.
+/// Decode-path counters of the LRC backend. Since the metrics subsystem
+/// (sim/stats/stats.h) these are snapshots of the process-wide registry
+/// counters "erasure.lrc.{decodes,local_repairs,local_only_decodes,
+/// full_solves}": shared by every LrcCode instance, cumulative since
+/// process start or the last lrc_stats_reset, thread-safe, and — like all
+/// registry metrics — only advancing while stats::enabled().
 struct LrcStats {
   std::uint64_t decodes = 0;        ///< decode() calls that returned blocks
   std::uint64_t local_repairs = 0;  ///< single-erasure group repairs done
@@ -113,10 +116,10 @@ struct LrcStats {
   std::uint64_t full_solves = 0;         ///< decodes that ran a k-wide solve
 };
 
-/// Snapshot of an LrcCode's counters; nullopt for any other codec.
+/// Snapshot of the LRC counters; nullopt when `code` is not an LrcCode.
 std::optional<LrcStats> lrc_stats(const ErasureCode& code);
 
-/// Zeroes an LrcCode's counters; no-op for any other codec.
+/// Zeroes the LRC counters; no-op when `code` is not an LrcCode.
 void lrc_stats_reset(const ErasureCode& code);
 
 /// Parses "rs", "rlc2", "rlc256", "lt", "lrc", "xorsched" — used by

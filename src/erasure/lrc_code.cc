@@ -37,12 +37,14 @@
 // decode() first repairs single-erasure groups from the group alone (group
 // size + 1 byte-rows touched instead of a k-wide solve) and only falls back
 // to Gaussian elimination when local repair cannot complete the page. The
-// counters behind lrc_stats() record how often each path fires.
-#include <atomic>
-
+// counters behind lrc_stats() record how often each path fires; since the
+// metrics subsystem landed they are process-wide registry counters
+// ("erasure.lrc.*", gated on stats::enabled()) and lrc_stats() is a thin
+// snapshot shim kept for bench_micro_erasure and the conformance tests.
 #include "erasure/code.h"
 #include "erasure/gf256.h"
 #include "erasure/matrix.h"
+#include "sim/stats/stats.h"
 #include "util/check.h"
 
 namespace lrs::erasure {
@@ -57,6 +59,31 @@ std::size_t lrc_group_count(std::size_t k, std::size_t n) {
 }
 
 namespace {
+
+/// The migrated lrc_stats() counters plus the encode/decode scope timers,
+/// resolved once and recorded through references (hot-path contract of
+/// sim/stats/stats.h).
+struct LrcRegistry {
+  stats::Counter& decodes;
+  stats::Counter& local_repairs;
+  stats::Counter& local_only_decodes;
+  stats::Counter& full_solves;
+  stats::Timer& encode;
+  stats::Timer& decode;
+
+  static LrcRegistry& get() {
+    auto& reg = stats::Registry::instance();
+    static LrcRegistry r{
+        reg.counter("erasure.lrc.decodes"),
+        reg.counter("erasure.lrc.local_repairs"),
+        reg.counter("erasure.lrc.local_only_decodes"),
+        reg.counter("erasure.lrc.full_solves"),
+        reg.timer("erasure.lrc.encode"),
+        reg.timer("erasure.lrc.decode"),
+    };
+    return r;
+  }
+};
 
 class LrcCode final : public ErasureCode {
  public:
@@ -105,6 +132,7 @@ class LrcCode final : public ErasureCode {
   std::string name() const override { return "lrc"; }
 
   std::vector<Bytes> encode(const std::vector<Bytes>& blocks) const override {
+    stats::TimerScope scope(LrcRegistry::get().encode);
     LRS_CHECK(blocks.size() == k_);
     const std::size_t len = blocks.front().size();
     for (const auto& b : blocks) LRS_CHECK(b.size() == len);
@@ -127,6 +155,7 @@ class LrcCode final : public ErasureCode {
 
   std::optional<std::vector<Bytes>> decode(
       const std::vector<Share>& shares) const override {
+    stats::TimerScope scope(LrcRegistry::get().decode);
     // Deduplicate by index (first occurrence wins), keeping every distinct
     // share: unlike MDS decode, which k blocks we hold decides whether the
     // cheap local path applies.
@@ -176,13 +205,13 @@ class LrcCode final : public ErasureCode {
       have[missing] = &repaired.back();
       ++repairs;
     }
-    local_repairs_.fetch_add(repairs, std::memory_order_relaxed);
+    LrcRegistry::get().local_repairs.add(repairs);
 
     bool all_data = true;
     for (std::size_t j = 0; j < k_; ++j) all_data &= have[j] != nullptr;
     if (all_data) {
-      decodes_.fetch_add(1, std::memory_order_relaxed);
-      local_only_decodes_.fetch_add(1, std::memory_order_relaxed);
+      LrcRegistry::get().decodes.add();
+      LrcRegistry::get().local_only_decodes.add();
       std::vector<Bytes> out;
       out.reserve(k_);
       for (std::size_t j = 0; j < k_; ++j) out.push_back(*have[j]);
@@ -199,37 +228,14 @@ class LrcCode final : public ErasureCode {
       if (elim.complete()) break;
     }
     if (!elim.complete()) return std::nullopt;
-    decodes_.fetch_add(1, std::memory_order_relaxed);
-    full_solves_.fetch_add(1, std::memory_order_relaxed);
+    LrcRegistry::get().decodes.add();
+    LrcRegistry::get().full_solves.add();
     return elim.solve();
-  }
-
-  LrcStats stats() const {
-    LrcStats s;
-    s.decodes = decodes_.load(std::memory_order_relaxed);
-    s.local_repairs = local_repairs_.load(std::memory_order_relaxed);
-    s.local_only_decodes =
-        local_only_decodes_.load(std::memory_order_relaxed);
-    s.full_solves = full_solves_.load(std::memory_order_relaxed);
-    return s;
-  }
-
-  void reset_stats() const {
-    decodes_.store(0, std::memory_order_relaxed);
-    local_repairs_.store(0, std::memory_order_relaxed);
-    local_only_decodes_.store(0, std::memory_order_relaxed);
-    full_solves_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::size_t k_, n_, g_, group_size_;
   MatrixGf256 generator_;
-  // Cached instances are shared across simulation threads; counters must not
-  // perturb decode results, only observe them.
-  mutable std::atomic<std::uint64_t> decodes_{0};
-  mutable std::atomic<std::uint64_t> local_repairs_{0};
-  mutable std::atomic<std::uint64_t> local_only_decodes_{0};
-  mutable std::atomic<std::uint64_t> full_solves_{0};
 };
 
 }  // namespace
@@ -239,16 +245,23 @@ std::unique_ptr<ErasureCode> make_lrc_code(std::size_t k, std::size_t n) {
 }
 
 std::optional<LrcStats> lrc_stats(const ErasureCode& code) {
-  if (const auto* lrc = dynamic_cast<const LrcCode*>(&code)) {
-    return lrc->stats();
-  }
-  return std::nullopt;
+  if (dynamic_cast<const LrcCode*>(&code) == nullptr) return std::nullopt;
+  const LrcRegistry& r = LrcRegistry::get();
+  LrcStats s;
+  s.decodes = r.decodes.value();
+  s.local_repairs = r.local_repairs.value();
+  s.local_only_decodes = r.local_only_decodes.value();
+  s.full_solves = r.full_solves.value();
+  return s;
 }
 
 void lrc_stats_reset(const ErasureCode& code) {
-  if (const auto* lrc = dynamic_cast<const LrcCode*>(&code)) {
-    lrc->reset_stats();
-  }
+  if (dynamic_cast<const LrcCode*>(&code) == nullptr) return;
+  LrcRegistry& r = LrcRegistry::get();
+  r.decodes.reset();
+  r.local_repairs.reset();
+  r.local_only_decodes.reset();
+  r.full_solves.reset();
 }
 
 }  // namespace lrs::erasure

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "erasure/code.h"
+#include "sim/stats/stats.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -84,6 +85,9 @@ class LtCode final : public ErasureCode {
   std::string name() const override { return "lt"; }
 
   std::vector<Bytes> encode(const std::vector<Bytes>& blocks) const override {
+    static stats::Timer& timer =
+        stats::Registry::instance().timer("erasure.lt.encode");
+    stats::TimerScope scope(timer);
     LRS_CHECK(blocks.size() == k_);
     const std::size_t len = blocks.front().size();
     for (const auto& b : blocks) LRS_CHECK(b.size() == len);
@@ -101,6 +105,9 @@ class LtCode final : public ErasureCode {
 
   std::optional<std::vector<Bytes>> decode(
       const std::vector<Share>& shares) const override {
+    static stats::Timer& timer =
+        stats::Registry::instance().timer("erasure.lt.decode");
+    stats::TimerScope scope(timer);
     if (shares.empty()) return std::nullopt;
     const std::size_t len = shares.front().data.size();
 

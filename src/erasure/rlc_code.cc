@@ -13,12 +13,23 @@
 #include "erasure/code.h"
 #include "erasure/gf256.h"
 #include "erasure/matrix.h"
+#include "sim/stats/stats.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace lrs::erasure {
 
 namespace {
+
+stats::Timer& rlc_timer(bool gf256, bool decode) {
+  static stats::Timer* timers[4] = {
+      &stats::Registry::instance().timer("erasure.rlc2.encode"),
+      &stats::Registry::instance().timer("erasure.rlc2.decode"),
+      &stats::Registry::instance().timer("erasure.rlc256.encode"),
+      &stats::Registry::instance().timer("erasure.rlc256.decode"),
+  };
+  return *timers[(gf256 ? 2 : 0) + (decode ? 1 : 0)];
+}
 
 std::uint64_t row_seed(std::uint64_t seed, std::size_t row) {
   // splitmix-style mix so adjacent rows decorrelate.
@@ -54,6 +65,7 @@ class RlcGf2Code final : public ErasureCode {
   std::string name() const override { return "rlc2"; }
 
   std::vector<Bytes> encode(const std::vector<Bytes>& blocks) const override {
+    stats::TimerScope scope(rlc_timer(false, false));
     LRS_CHECK(blocks.size() == k_);
     const std::size_t len = blocks.front().size();
     for (const auto& b : blocks) LRS_CHECK(b.size() == len);
@@ -74,6 +86,7 @@ class RlcGf2Code final : public ErasureCode {
 
   std::optional<std::vector<Bytes>> decode(
       const std::vector<Share>& shares) const override {
+    stats::TimerScope scope(rlc_timer(false, true));
     if (shares.empty()) return std::nullopt;
     const std::size_t len = shares.front().data.size();
     Gf2Eliminator elim(k_, len);
@@ -131,6 +144,7 @@ class RlcGf256Code final : public ErasureCode {
   std::string name() const override { return "rlc256"; }
 
   std::vector<Bytes> encode(const std::vector<Bytes>& blocks) const override {
+    stats::TimerScope scope(rlc_timer(true, false));
     LRS_CHECK(blocks.size() == k_);
     const std::size_t len = blocks.front().size();
     for (const auto& b : blocks) LRS_CHECK(b.size() == len);
@@ -151,6 +165,7 @@ class RlcGf256Code final : public ErasureCode {
 
   std::optional<std::vector<Bytes>> decode(
       const std::vector<Share>& shares) const override {
+    stats::TimerScope scope(rlc_timer(true, true));
     // Gather distinct shares.
     std::vector<const Share*> picked;
     std::vector<bool> seen(n_, false);

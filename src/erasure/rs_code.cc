@@ -11,11 +11,23 @@
 #include "erasure/code.h"
 #include "erasure/gf256.h"
 #include "erasure/matrix.h"
+#include "sim/stats/stats.h"
 #include "util/check.h"
 
 namespace lrs::erasure {
 
 namespace {
+
+stats::Timer& rs_encode_timer() {
+  static stats::Timer& t =
+      stats::Registry::instance().timer("erasure.rs.encode");
+  return t;
+}
+stats::Timer& rs_decode_timer() {
+  static stats::Timer& t =
+      stats::Registry::instance().timer("erasure.rs.decode");
+  return t;
+}
 
 class ReedSolomonCode final : public ErasureCode {
  public:
@@ -39,6 +51,7 @@ class ReedSolomonCode final : public ErasureCode {
   std::string name() const override { return "rs"; }
 
   std::vector<Bytes> encode(const std::vector<Bytes>& blocks) const override {
+    stats::TimerScope scope(rs_encode_timer());
     LRS_CHECK(blocks.size() == k_);
     const std::size_t len = blocks.front().size();
     for (const auto& b : blocks) LRS_CHECK(b.size() == len);
@@ -61,6 +74,7 @@ class ReedSolomonCode final : public ErasureCode {
 
   std::optional<std::vector<Bytes>> decode(
       const std::vector<Share>& shares) const override {
+    stats::TimerScope scope(rs_decode_timer());
     // Deduplicate by index, keep the first k distinct shares.
     std::vector<const Share*> picked;
     std::vector<bool> seen(n_, false);

@@ -26,6 +26,7 @@
 #include "erasure/gf256.h"
 #include "erasure/gf256_kernels.h"
 #include "erasure/matrix.h"
+#include "sim/stats/stats.h"
 #include "util/check.h"
 
 namespace lrs::erasure {
@@ -186,6 +187,9 @@ class XorScheduleCode final : public ErasureCode {
   std::string name() const override { return "xorsched"; }
 
   std::vector<Bytes> encode(const std::vector<Bytes>& blocks) const override {
+    static stats::Timer& timer =
+        stats::Registry::instance().timer("erasure.xorsched.encode");
+    stats::TimerScope scope(timer);
     LRS_CHECK(blocks.size() == k_);
     const std::size_t len = blocks.front().size();
     for (const auto& b : blocks) LRS_CHECK(b.size() == len);
@@ -213,6 +217,9 @@ class XorScheduleCode final : public ErasureCode {
 
   std::optional<std::vector<Bytes>> decode(
       const std::vector<Share>& shares) const override {
+    static stats::Timer& timer =
+        stats::Registry::instance().timer("erasure.xorsched.decode");
+    stats::TimerScope scope(timer);
     std::vector<const Share*> picked;
     std::vector<bool> seen(n_, false);
     for (const auto& s : shares) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/stats/stats.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -104,6 +105,9 @@ void DissemNode::set_state(NodeState next) {
 }
 
 void DissemNode::note_auth_failure(sim::PacketClass cls) {
+  static stats::Counter& fails =
+      stats::Registry::instance().counter("proto.auth.fail");
+  fails.add();
   if (auto* o = env().observer()) {
     o->on_auth_failure(env().now(), env().id(), cls);
   }
@@ -183,6 +187,13 @@ void DissemNode::send_advertisement() {
 // --------------------------------------------------------------------------
 
 void DissemNode::on_receive(ByteView frame) {
+  // The protocol-bound hot path: everything below — parse, MAC/hash
+  // verification, scheme buffering, erasure decode — bills to proto.rx
+  // (inclusive of the nested crypto.*/erasure.* scopes). Frames received
+  // = proto.rx.calls; authenticated ones = calls - proto.auth.fail.
+  static stats::Timer& rx_timer =
+      stats::Registry::instance().timer("proto.rx");
+  stats::TimerScope rx_scope(rx_timer);
   const auto type = peek_type(frame);
   if (!type) return;
   // With a memo wired and a live delivery serial, the first receiver of a
@@ -375,6 +386,9 @@ void DissemNode::send_snack() {
   s.page = page;
   s.requested = scheme_->request_bits(page);
   const crypto::HmacKey* mac = snack_tx_mac();
+  static stats::Counter& snacks =
+      stats::Registry::instance().counter("proto.snack.sent");
+  snacks.add();
   env().broadcast(sim::PacketClass::kSnack,
                   mac ? s.serialize(*mac) : s.serialize(ByteView{}));
 
@@ -539,6 +553,9 @@ void DissemNode::serve_next() {
   LRS_LOG(kDebug) << "node " << env().id() << " serves page " << page
                   << " idx " << d.index << " t=" << env().now();
   if (page == 0) env().metrics().page0_data_sent += 1;
+  static stats::Counter& served =
+      stats::Registry::instance().counter("proto.data.served");
+  served.add();
   if (auto* o = env().observer()) {
     o->on_data_served(env().now(), env().id(), page, *idx);
   }

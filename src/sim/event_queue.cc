@@ -3,9 +3,38 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/stats/stats.h"
 #include "util/check.h"
 
 namespace lrs::sim {
+
+namespace {
+
+/// Call-site cache of the queue's registry slots: resolved once per
+/// process, recorded through references on the hot path (allocation- and
+/// lock-free; every record is gated on stats::enabled()).
+struct QueueStats {
+  stats::Counter& schedule;
+  stats::Counter& cancel;
+  stats::Counter& pop;
+  stats::Counter& overflow;
+  stats::Counter& reanchor;
+  stats::Histogram& pending;
+
+  static QueueStats& get() {
+    static QueueStats s{
+        stats::Registry::instance().counter("sim.queue.schedule"),
+        stats::Registry::instance().counter("sim.queue.cancel"),
+        stats::Registry::instance().counter("sim.queue.pop"),
+        stats::Registry::instance().counter("sim.queue.overflow_push"),
+        stats::Registry::instance().counter("sim.queue.reanchor"),
+        stats::Registry::instance().histogram("sim.queue.pending"),
+    };
+    return s;
+  }
+};
+
+}  // namespace
 
 EventQueue::EventQueue() : buckets_(kBuckets) {}
 
@@ -30,6 +59,7 @@ void EventQueue::release_slot(std::uint32_t slot) {
 void EventQueue::push_ref(const Ref& r) {
   const SimTime offset = r.time - base_;
   if (offset >= kSpan) {
+    QueueStats::get().overflow.add();
     overflow_.push_back(r);
     std::push_heap(overflow_.begin(), overflow_.end(),
                    [](const Ref& a, const Ref& b) { return a.after(b); });
@@ -53,6 +83,9 @@ EventToken EventQueue::schedule_at(SimTime at, EventFn fn) {
   const EventToken token(slot, s.gen);
   push_ref(Ref{at, next_seq_++, slot, s.gen});
   ++live_;
+  QueueStats& qs = QueueStats::get();
+  qs.schedule.add();
+  qs.pending.record(live_);
   return token;
 }
 
@@ -62,6 +95,7 @@ bool EventQueue::cancel(EventToken token) {
   if (slot >= slots_.size() || slots_[slot].gen != token.gen()) return false;
   release_slot(slot);  // the bucket/overflow ref goes stale and is skipped
   --live_;
+  QueueStats::get().cancel.add();
   return true;
 }
 
@@ -134,6 +168,7 @@ EventQueue::Ref EventQueue::pop_earliest() {
   // advanced to the popped event's time by the caller before any code can
   // schedule again, so base_ <= now() keeps holding.
   LRS_DCHECK(!overflow_.empty() && is_live(overflow_.front()));
+  QueueStats::get().reanchor.add();
   const SimTime head = overflow_.front().time;
   base_ = head & ~(kBucketWidth - 1);
   cursor_ = 0;
@@ -159,6 +194,7 @@ void EventQueue::run_ref(const Ref& r) {
   release_slot(r.slot);
   --live_;
   ++executed_;
+  QueueStats::get().pop.add();
   fn();
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "sim/stats/stats.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -161,6 +162,10 @@ std::size_t TopologySpec::node_count() const {
 }
 
 Topology build_topology(const TopologySpec& spec) {
+  static stats::Timer& timer =
+      stats::Registry::instance().timer("sim.build_topology",
+                                        /*top_level=*/true);
+  stats::TimerScope scope(timer);
   LRS_CHECK_MSG(spec.node_count() >= 2, "topology needs at least two nodes");
   Topology t = [&spec] {
     switch (spec.kind) {

@@ -5,7 +5,17 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/stats/stats.h"
+
 namespace lrs::sim {
+
+void TraceRecorder::record(TraceEvent e) {
+  if (!enabled_) return;
+  static stats::Counter& recorded =
+      stats::Registry::instance().counter("sim.trace.events");
+  recorded.add();
+  events_.push_back(e);
+}
 
 namespace {
 

@@ -123,9 +123,10 @@ class TraceRecorder final : public SimObserver {
   bool write_chrome_trace(const std::string& path) const;
 
  private:
-  void record(TraceEvent e) {
-    if (enabled_) events_.push_back(e);
-  }
+  // Out of line: bumps the "sim.trace.events" metrics counter (the hook
+  // trace_analyze --metrics-check cross-checks against a trace's line
+  // count) without pulling sim/stats into this header.
+  void record(TraceEvent e);
 
   bool enabled_;
   std::vector<TraceEvent> events_;

@@ -24,6 +24,7 @@
 
 #include "core/experiment.h"
 #include "sim/event_queue.h"
+#include "sim/stats/stats.h"
 #include "sim/time.h"
 
 namespace {
@@ -233,6 +234,59 @@ TEST(AllocGuard, StarScenarioStaysUnderPerEventBudget) {
       << " (allocs " << allocs_small << " -> " << allocs_large
       << ", events " << small.events_executed << " -> "
       << large.events_executed << ")";
+}
+
+TEST(AllocGuard, EnabledMetricsRecordingAllocatesNothing) {
+  // The metrics hot path (sim/stats): registry lookup may allocate ONCE
+  // per name; recording through the returned references must never touch
+  // the heap, enabled or not.
+  auto& reg = lrs::stats::Registry::instance();
+  lrs::stats::Counter& c = reg.counter("allocguard.counter");
+  lrs::stats::Histogram& h = reg.histogram("allocguard.hist");
+  lrs::stats::Timer& t = reg.timer("allocguard.timer");
+  lrs::stats::set_enabled(true);
+  c.add();  // warm-up: first records touch every atomic once
+  h.record(1);
+  { lrs::stats::TimerScope scope(t); }
+
+  const std::uint64_t allocs_before = alloc_count();
+  for (int i = 0; i < 100000; ++i) {
+    c.add();
+    h.record(static_cast<std::uint64_t>(i) * 2654435761u);
+    lrs::stats::TimerScope scope(t);
+  }
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  lrs::stats::set_enabled(false);
+
+  EXPECT_EQ(c.value(), 100001u);
+  EXPECT_EQ(allocs, 0u) << "enabled metrics recording must not allocate";
+}
+
+TEST(AllocGuard, MetricsEnabledEventLoopAllocatesNothing) {
+  // The SteadyStateEventLoop contract must survive metrics collection: the
+  // queue's counter/histogram instrumentation runs on every schedule /
+  // cancel / pop when the registry is enabled, and must stay heap-free.
+  lrs::stats::set_enabled(true);
+  sim::EventQueue q;
+  std::uint64_t fired = 0;
+  constexpr sim::SimTime kWidth = 1 << 10;
+  constexpr sim::SimTime kSpan = kWidth << 12;
+  q.schedule_at(0, PeriodicLoop{&q, &fired, kWidth / 2});
+  q.schedule_at(0, PeriodicLoop{&q, &fired, kWidth});
+  q.schedule_at(0, PeriodicLoop{&q, &fired, kSpan});
+  q.schedule_at(0, CancellingLoop{&q, &fired, kWidth});
+
+  for (int i = 0; i < 200000; ++i) ASSERT_TRUE(q.run_next());
+
+  const std::uint64_t fired_before = fired;
+  const std::uint64_t allocs_before = alloc_count();
+  for (int i = 0; i < 200000; ++i) ASSERT_TRUE(q.run_next());
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  lrs::stats::set_enabled(false);
+
+  EXPECT_EQ(fired - fired_before, 200000u);
+  EXPECT_EQ(allocs, 0u) << "metrics-enabled schedule/cancel/pop must not "
+                           "touch the heap";
 }
 
 }  // namespace

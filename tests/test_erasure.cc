@@ -14,6 +14,7 @@
 #include "erasure/code.h"
 #include "erasure/gf256.h"
 #include "erasure/matrix.h"
+#include "sim/stats/stats.h"
 #include "util/rng.h"
 
 namespace lrs::erasure {
@@ -564,7 +565,11 @@ TEST(LrcCode, LocalParitiesOnlySpanTheirGroup) {
 }
 
 TEST(LrcCode, LocalRepairCountsAndResets) {
+  // The counters live in the process-wide metrics registry now: enable the
+  // registry and zero any residue left by earlier tests in this binary.
+  stats::set_enabled(true);
   auto code = make_lrc_code(8, 16);  // g=4, groups of 2, locals at 8..11
+  lrc_stats_reset(*code);
   const auto blocks = pattern_blocks(8, 12);
   const auto encoded = code->encode(blocks);
 
@@ -731,9 +736,11 @@ TEST(CodecCache, CanonicalizesLrcAndXorschedSpellings) {
 
 TEST(CodecCache, ThreadHammerSharedInstances) {
   // Many threads resolve differing spellings of the same canonical codecs
-  // and decode through the shared LRC instance (its stat counters are the
-  // only mutable state). Run under TSan in CI.
+  // and decode through the shared LRC instance (the registry stat counters
+  // are the only mutable state). Run under TSan in CI.
   codec_cache_clear();
+  stats::set_enabled(true);
+  lrc_stats_reset(*make_code_cached(CodecKind::kLrc, 8, 16, 0, 0));
   constexpr int kThreads = 8;
   constexpr int kIters = 25;
   std::vector<Bytes> blocks(8);
