@@ -25,6 +25,14 @@
 // come from the same run:
 //
 //   ./bench/trace_analyze --metrics-check=m.json [t.jsonl]
+//
+// --fleet-check=BENCH_fleet.json validates a bench_fleet export: the
+// pinned 21-column schema, u64 exactness for every integer column,
+// "X/Y" convergence ratios, imbalance >= 1, at least one delta tenant,
+// timing columns confined to ALL rows, and per-rung ALL rows that are
+// exact folds (sum/max) of their tenant rows:
+//
+//   ./bench/trace_analyze --fleet-check=BENCH_fleet.json
 #include <algorithm>
 #include <array>
 #include <cctype>
@@ -501,6 +509,259 @@ int metrics_check(const std::string& path, const std::string& trace_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --fleet-check: validates a bench_fleet export (BENCH_fleet.json). The
+// column list is pinned verbatim — a drive-by reorder of the bench table is
+// a schema break for downstream tooling, not a cosmetic change. Integer
+// columns must be exact u64 tokens (no floats, no signs); per-rung ALL rows
+// must be consistent folds of their tenant rows, which doubles as CI's
+// cross-check that the engine's per-tenant aggregation didn't drift.
+// ---------------------------------------------------------------------------
+
+/// "X/Y" -> (X, Y); nullopt unless both are exact u64 tokens.
+std::optional<std::pair<std::uint64_t, std::uint64_t>> parse_ratio(
+    const std::string& s) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  Json a, b;
+  a.kind = b.kind = Json::Kind::kNumber;
+  a.raw = s.substr(0, slash);
+  b.raw = s.substr(slash + 1);
+  const auto x = a.as_u64();
+  const auto y = b.as_u64();
+  if (!x || !y) return std::nullopt;
+  return std::make_pair(*x, *y);
+}
+
+int fleet_check(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  MetricsCheck mc{path};
+
+  const auto doc = JsonParser(text).parse();
+  if (!doc || !doc->is(Json::Kind::kObject)) {
+    mc.fail("not a JSON object");
+    return 1;
+  }
+  const Json* bench = doc->find("bench");
+  if (!bench || !bench->is(Json::Kind::kString) || bench->str != "fleet") {
+    mc.fail("\"bench\" must be \"fleet\"");
+  }
+  const Json* prov = doc->find("provenance");
+  if (!prov || !prov->is(Json::Kind::kObject)) {
+    mc.fail("\"provenance\" object missing");
+  }
+
+  // The pinned schema. Everything up to and including images_ok is the
+  // deterministic prefix (byte-identical for any LRS_JOBS); the trailing
+  // four are timing columns, present only on ALL rows.
+  static const std::vector<std::string> kColumns = {
+      "rung", "tenants", "cells", "tenant", "codec", "version", "delta",
+      "receivers", "converged", "events", "max_cell_events", "imbalance",
+      "data_pkts", "snack_pkts", "total_bytes", "latency_s", "images_ok",
+      "wall_s", "events_per_sec", "peak_rss_mb", "steals"};
+  const Json* columns = doc->find("columns");
+  if (!columns || !columns->is(Json::Kind::kArray)) {
+    mc.fail("\"columns\" array missing");
+    return 1;
+  }
+  if (columns->array.size() != kColumns.size()) {
+    mc.fail("expected " + std::to_string(kColumns.size()) + " columns, got " +
+            std::to_string(columns->array.size()));
+    return 1;
+  }
+  for (std::size_t c = 0; c < kColumns.size(); ++c) {
+    if (!columns->array[c].is(Json::Kind::kString) ||
+        columns->array[c].str != kColumns[c]) {
+      mc.fail("column " + std::to_string(c) + " must be \"" + kColumns[c] +
+              "\"");
+    }
+  }
+  const auto col = [&](const std::string& name) {
+    for (std::size_t c = 0; c < kColumns.size(); ++c) {
+      if (kColumns[c] == name) return c;
+    }
+    return kColumns.size();
+  };
+
+  const Json* rows = doc->find("rows");
+  if (!rows || !rows->is(Json::Kind::kArray) || rows->array.empty()) {
+    mc.fail("\"rows\" missing or empty");
+    return 1;
+  }
+
+  /// Accumulated per rung while walking rows, then checked against ALL.
+  struct RungFold {
+    bool has_all = false;
+    std::uint64_t tenants_declared = 0;
+    std::uint64_t tenant_rows = 0;
+    std::uint64_t events = 0;
+    std::uint64_t max_cell_events = 0;
+    std::uint64_t converged = 0;
+    std::uint64_t all_events = 0;
+    std::uint64_t all_max_cell_events = 0;
+    std::uint64_t all_converged = 0;
+  };
+  std::map<std::string, RungFold> rungs;
+  std::uint64_t delta_rows = 0;
+
+  for (std::size_t r = 0; r < rows->array.size(); ++r) {
+    const std::string at = "row " + std::to_string(r);
+    const Json& row = rows->array[r];
+    if (!row.is(Json::Kind::kArray) || row.array.size() != kColumns.size()) {
+      mc.fail(at + ": expected " + std::to_string(kColumns.size()) +
+              " cells");
+      continue;
+    }
+    const auto cell = [&](const std::string& name) -> const Json& {
+      return row.array[col(name)];
+    };
+    const auto u64_cell =
+        [&](const std::string& name) -> std::optional<std::uint64_t> {
+      const auto v = cell(name).as_u64();
+      if (!v) mc.fail(at + ": " + name + " must be an exact u64");
+      return v;
+    };
+
+    if (!cell("rung").is(Json::Kind::kString) || cell("rung").str.empty()) {
+      mc.fail(at + ": rung must be a non-empty string");
+      continue;
+    }
+    RungFold& fold = rungs[cell("rung").str];
+    const auto tenants = u64_cell("tenants");
+    if (tenants) {
+      if (fold.tenants_declared == 0) fold.tenants_declared = *tenants;
+      if (fold.tenants_declared != *tenants) {
+        mc.fail(at + ": tenants differs within the rung");
+      }
+    }
+    u64_cell("cells");
+    u64_cell("version");
+    if (!cell("tenant").is(Json::Kind::kString) ||
+        cell("tenant").str.empty()) {
+      mc.fail(at + ": tenant must be a non-empty string");
+      continue;
+    }
+    if (!cell("codec").is(Json::Kind::kString)) {
+      mc.fail(at + ": codec must be a string");
+    }
+    if (!cell("delta").is(Json::Kind::kBool)) {
+      mc.fail(at + ": delta must be a bool");
+    } else if (cell("delta").boolean) {
+      ++delta_rows;
+    }
+    if (!cell("images_ok").is(Json::Kind::kBool)) {
+      mc.fail(at + ": images_ok must be a bool");
+    } else if (!cell("images_ok").boolean) {
+      mc.fail(at + ": images_ok is false");
+    }
+    u64_cell("receivers");
+    const auto events = u64_cell("events");
+    const auto max_events = u64_cell("max_cell_events");
+    if (events && max_events && *max_events > *events) {
+      mc.fail(at + ": max_cell_events " + std::to_string(*max_events) +
+              " > events " + std::to_string(*events));
+    }
+    u64_cell("data_pkts");
+    u64_cell("snack_pkts");
+    u64_cell("total_bytes");
+    if (!cell("imbalance").is(Json::Kind::kNumber) ||
+        cell("imbalance").number < 0.999) {
+      mc.fail(at + ": imbalance must be a number >= 1 (max/mean)");
+    }
+    if (!cell("latency_s").is(Json::Kind::kNumber) ||
+        cell("latency_s").number < 0) {
+      mc.fail(at + ": latency_s must be a non-negative number");
+    }
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> ratio;
+    if (!cell("converged").is(Json::Kind::kString) ||
+        !(ratio = parse_ratio(cell("converged").str))) {
+      mc.fail(at + ": converged must be \"X/Y\" with exact u64 parts");
+    } else if (ratio->first > ratio->second) {
+      mc.fail(at + ": converged " + cell("converged").str + " exceeds total");
+    }
+
+    const bool is_all = cell("tenant").str == "ALL";
+    // Timing columns: exactly the ALL rows carry them (steals as exact u64,
+    // the rest as numbers); tenant rows leave them empty.
+    for (const char* name : {"wall_s", "events_per_sec", "peak_rss_mb"}) {
+      const bool num = cell(name).is(Json::Kind::kNumber);
+      const bool empty =
+          cell(name).is(Json::Kind::kString) && cell(name).str.empty();
+      if (is_all ? !num : !empty) {
+        mc.fail(at + ": " + name +
+                (is_all ? " must be a number on ALL rows"
+                        : " must be empty on tenant rows"));
+      }
+    }
+    if (is_all) {
+      u64_cell("steals");
+    } else if (!cell("steals").is(Json::Kind::kString) ||
+               !cell("steals").str.empty()) {
+      mc.fail(at + ": steals must be empty on tenant rows");
+    }
+
+    if (is_all) {
+      if (fold.has_all) mc.fail(at + ": duplicate ALL row for rung");
+      fold.has_all = true;
+      if (events) fold.all_events = *events;
+      if (max_events) fold.all_max_cell_events = *max_events;
+      if (ratio) fold.all_converged = ratio->first;
+    } else {
+      fold.tenant_rows += 1;
+      if (events) fold.events += *events;
+      if (max_events) {
+        fold.max_cell_events = std::max(fold.max_cell_events, *max_events);
+      }
+      if (ratio) fold.converged += ratio->first;
+    }
+  }
+
+  for (const auto& [name, fold] : rungs) {
+    if (!fold.has_all) {
+      mc.fail("rung " + name + ": ALL row missing");
+      continue;
+    }
+    if (fold.tenant_rows != fold.tenants_declared) {
+      mc.fail("rung " + name + ": " + std::to_string(fold.tenant_rows) +
+              " tenant rows but tenants=" +
+              std::to_string(fold.tenants_declared));
+    }
+    if (fold.events != fold.all_events) {
+      mc.fail("rung " + name + ": tenant events sum " +
+              std::to_string(fold.events) + " != ALL events " +
+              std::to_string(fold.all_events));
+    }
+    if (fold.max_cell_events != fold.all_max_cell_events) {
+      mc.fail("rung " + name + ": tenant max_cell_events max " +
+              std::to_string(fold.max_cell_events) + " != ALL " +
+              std::to_string(fold.all_max_cell_events));
+    }
+    if (fold.converged != fold.all_converged) {
+      mc.fail("rung " + name + ": tenant converged sum " +
+              std::to_string(fold.converged) + " != ALL " +
+              std::to_string(fold.all_converged));
+    }
+  }
+  if (delta_rows == 0) {
+    mc.fail("no delta tenant rows: every rung mixes in delta images");
+  }
+
+  if (mc.failures > 0) {
+    std::cerr << path << ": " << mc.failures << " fleet-check failure(s)\n";
+    return 1;
+  }
+  std::cout << "OK: fleet schema valid (" << rungs.size() << " rung(s), "
+            << rows->array.size() << " rows, " << delta_rows
+            << " delta tenant row(s))\n";
+  return 0;
+}
+
 struct NodeStats {
   std::uint64_t sends = 0;
   std::uint64_t receives = 0;
@@ -645,6 +906,9 @@ int run(int argc, char** argv) {
   const bool do_metrics =
       !metrics_path.empty() && metrics_path != "true" &&
       metrics_path != "false";
+  const std::string fleet_path = args.get("fleet-check", "");
+  const bool do_fleet =
+      !fleet_path.empty() && fleet_path != "true" && fleet_path != "false";
   std::string path;
   if (args.positional().size() == 1) {
     path = args.positional()[0];
@@ -655,14 +919,27 @@ int run(int argc, char** argv) {
   const long top_k = args.get_int("top", 10);
   const double bucket_s = args.get_double("bucket", 10.0);
   // In metrics mode the trace path is optional (it only adds the event
-  // cross-check); every other mode needs it.
-  bool bad = top_k < 1 || bucket_s <= 0 || (path.empty() && !do_metrics);
+  // cross-check); fleet mode takes no trace at all; every other mode needs
+  // it.
+  bool bad = top_k < 1 || bucket_s <= 0 ||
+             (path.empty() && !do_metrics && !do_fleet);
   if (!metrics_path.empty() && !do_metrics) {
     std::cerr << "error: --metrics-check needs a file argument\n";
     bad = true;
   }
-  if (do_metrics && do_check) {
-    std::cerr << "error: --check and --metrics-check are exclusive\n";
+  if (!fleet_path.empty() && !do_fleet) {
+    std::cerr << "error: --fleet-check needs a file argument\n";
+    bad = true;
+  }
+  if (static_cast<int>(do_metrics) + static_cast<int>(do_check) +
+          static_cast<int>(do_fleet) >
+      1) {
+    std::cerr << "error: --check, --metrics-check and --fleet-check are"
+                 " exclusive\n";
+    bad = true;
+  }
+  if (do_fleet && !path.empty()) {
+    std::cerr << "error: --fleet-check takes no trace argument\n";
     bad = true;
   }
   for (const auto& e : args.errors()) {
@@ -677,11 +954,14 @@ int run(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " [--check] [--top=K] [--bucket=SECONDS] trace.jsonl\n"
                  "       "
-              << argv[0] << " --metrics-check=metrics.json [trace.jsonl]\n";
+              << argv[0] << " --metrics-check=metrics.json [trace.jsonl]\n"
+                 "       "
+              << argv[0] << " --fleet-check=BENCH_fleet.json\n";
     return 2;
   }
 
   if (do_metrics) return metrics_check(metrics_path, path);
+  if (do_fleet) return fleet_check(fleet_path);
 
   std::ifstream in(path, std::ios::binary);
   if (!in) {

@@ -419,10 +419,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       std::vector<ExperimentResult> parts(islands.size());
       const std::size_t jobs =
           config.island_jobs != 0 ? config.island_jobs : default_jobs();
-      parallel_for(islands.size(), jobs, [&](std::size_t i) {
-        parts[i] = run_cell(config, image, root_pk, topology,
-                            std::move(islands[i]), std::move(sources[i]));
-      });
+      // Island sizes are heterogeneous (a geometric deployment mixes
+      // 2-node islets with 1000-node blobs), so the work-stealing runner
+      // replaces the flat atomic-counter fan-out; results stay in
+      // island-indexed slots, hence byte-identical for any worker count.
+      const std::size_t steals =
+          parallel_for_ws(islands.size(), jobs, [&](std::size_t i) {
+            parts[i] = run_cell(config, image, root_pk, topology,
+                                std::move(islands[i]), std::move(sources[i]));
+          });
+      static stats::Gauge& steal_gauge =
+          stats::Registry::instance().gauge("core.parallel.steals");
+      steal_gauge.add(static_cast<std::int64_t>(steals));
       return merge_islands(parts);
     }
   }

@@ -53,6 +53,17 @@ class LrSelugeState final : public proto::SchemeState {
 
   Version version() const override { return params_.version; }
 
+  /// Every member is value-copyable and the codec instances are shared
+  /// through the process-wide cache, so the default copy constructor IS the
+  /// cheap clone: the hash chain, decoded pages, Merkle root and signature
+  /// frame are duplicated as bytes, never recomputed, and no one-time
+  /// signing key is consumed. Only complete (serving-ready) states clone —
+  /// a partially-filled receiver has nothing a fresh cell could serve.
+  std::unique_ptr<proto::SchemeState> clone_source() const override {
+    if (!image_complete()) return nullptr;
+    return std::make_unique<LrSelugeState>(*this);
+  }
+
   std::uint32_t num_pages() const override {
     return meta_ ? meta_->content_pages + 1 : 0;
   }

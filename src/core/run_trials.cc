@@ -28,12 +28,17 @@ std::vector<ExperimentResult> run_trials(const ExperimentConfig& config,
   if (jobs == 0) jobs = default_jobs();
 
   std::vector<ExperimentResult> results(repeats);
-  parallel_for(repeats, jobs, [&](std::size_t i) {
+  const std::size_t steals = parallel_for_ws(repeats, jobs, [&](std::size_t i) {
     ExperimentConfig c = config;
     c.seed = config.seed + i;
     c.trace = sim::trace_for_trial(config.trace, 0, i);
     results[i] = run_experiment(c);
   });
+  // Steal counts depend on worker timing: a Gauge (timing section), never a
+  // Counter, or the deterministic export would vary with LRS_JOBS.
+  static stats::Gauge& steal_gauge =
+      stats::Registry::instance().gauge("core.parallel.steals");
+  steal_gauge.add(static_cast<std::int64_t>(steals));
   return results;
 }
 
@@ -104,7 +109,10 @@ std::vector<ExperimentResult> run_experiments_avg(
 
   const std::size_t total = configs.size() * repeats;
   std::vector<ExperimentResult> trials(total);
-  parallel_for(total, jobs, [&](std::size_t t) {
+  // Work-stealing pool: sweeps mix cheap and expensive configs, and the
+  // block deal-out puts each config's trials on one worker — stealing keeps
+  // the tail busy without touching the trial -> seed mapping.
+  const std::size_t steals = parallel_for_ws(total, jobs, [&](std::size_t t) {
     const std::size_t ci = t / repeats;
     const std::size_t ri = t % repeats;
     ExperimentConfig c = configs[ci];
@@ -112,6 +120,9 @@ std::vector<ExperimentResult> run_experiments_avg(
     c.trace = sim::trace_for_trial(configs[ci].trace, ci, ri);
     trials[t] = run_experiment(c);
   });
+  static stats::Gauge& steal_gauge =
+      stats::Registry::instance().gauge("core.parallel.steals");
+  steal_gauge.add(static_cast<std::int64_t>(steals));
 
   std::vector<ExperimentResult> out(configs.size());
   for (std::size_t ci = 0; ci < configs.size(); ++ci) {

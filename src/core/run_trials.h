@@ -3,10 +3,13 @@
 // Every figure/table in the paper averages repeated simulation runs with
 // derived seeds. The runs are embarrassingly parallel — each trial owns its
 // simulator, RNG streams and scheme state — so this module fans them out
-// over a small thread pool while keeping results (and therefore every
-// aggregate) bit-identical to the historical serial loop: trial i always
-// uses seed config.seed + i, results are collected by index, and the
-// aggregation walks them in index order with the same arithmetic.
+// over a small work-stealing pool (core/parallel.h, parallel_for_ws) while
+// keeping results (and therefore every aggregate) bit-identical to the
+// historical serial loop: trial i always uses seed config.seed + i, results
+// are collected by index, and the aggregation walks them in index order
+// with the same arithmetic. Only the index -> thread assignment is
+// schedule-dependent; steal counts are reported as the timing-only gauge
+// "core.parallel.steals".
 #pragma once
 
 #include <cstddef>

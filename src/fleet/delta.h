@@ -1,0 +1,64 @@
+// Delta images: disseminate only the changed pages of a v1 -> v2 upgrade.
+//
+// A delta blob is a self-describing artifact — manifest header plus the raw
+// bytes of every changed page — that the fleet engine publishes through the
+// ordinary LR-Seluge pipeline at the NEW version number. The hash chain and
+// signature are therefore recomputed over the delta manifest itself: every
+// packet of the blob is immediately authenticated in transit exactly like a
+// full image, and a tampered delta never reaches apply_delta. What the
+// manifest adds are the end-point checks the transport cannot see:
+//
+//   * base_hash pins WHICH installed image the delta patches — applying a
+//     (genuine) delta on top of the wrong base is rejected, so a replayed
+//     old delta cannot corrupt a node that has since moved on;
+//   * new_hash pins the result — a blob that parses but reconstructs the
+//     wrong bytes (bit rot, wrong page map) is rejected after patching;
+//   * base_version < new_version is enforced structurally, matching the
+//     engine's forward-only version rule (proto/params.h scheme_factory).
+//
+// Format (little-endian, fixed header, docs/fleet.md):
+//   "LRD1" | u32 base_version | u32 new_version | u64 image_size |
+//   u32 page_size | u32 changed_count | base_hash[8] | new_hash[8] |
+//   changed_count x u32 ascending page indices | changed page bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "util/types.h"
+
+namespace lrs::fleet {
+
+struct DeltaManifest {
+  Version base_version = 0;
+  Version new_version = 0;
+  std::uint64_t image_size = 0;  // size of the NEW image in bytes
+  std::uint32_t page_size = 0;   // patch granularity, bytes
+  crypto::PacketHash base_hash{};  // packet_hash of the base image
+  crypto::PacketHash new_hash{};   // packet_hash of the new image
+  std::vector<std::uint32_t> changed_pages;  // ascending, unique
+};
+
+/// Builds the delta blob patching `base_image` (installed as base_version)
+/// into `new_image` (to run as new_version). A page is "changed" when its
+/// bytes differ from the same offsets of the base — including every page
+/// past the base image's end when the new image grew. Requires
+/// base_version < new_version and page_size >= 1.
+Bytes make_delta(const Bytes& base_image, const Bytes& new_image,
+                 Version base_version, Version new_version,
+                 std::size_t page_size);
+
+/// Parses the manifest header of a delta blob: nullopt on bad magic,
+/// truncation, unordered page indices, version order violation or a length
+/// that disagrees with the declared geometry.
+std::optional<DeltaManifest> parse_delta(ByteView blob);
+
+/// Patches `base_image` with `blob`. Rejects (nullopt) malformed blobs, a
+/// base whose hash does not match the manifest's base_hash, and any result
+/// whose hash does not match new_hash. On success the returned bytes ARE
+/// the new image.
+std::optional<Bytes> apply_delta(const Bytes& base_image, ByteView blob);
+
+}  // namespace lrs::fleet

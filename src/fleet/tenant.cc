@@ -1,0 +1,44 @@
+#include "fleet/tenant.h"
+
+#include "util/check.h"
+
+namespace lrs::fleet {
+
+namespace {
+
+/// SplitMix64 finalizer: the same mixing the RNG layer uses for seed
+/// decorrelation — adjacent (seed, cell) pairs land far apart.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* phase_name(TenantPhase p) {
+  switch (p) {
+    case TenantPhase::kRegistered: return "registered";
+    case TenantPhase::kPrepared: return "prepared";
+    case TenantPhase::kDisseminating: return "disseminating";
+    case TenantPhase::kConverged: return "converged";
+    case TenantPhase::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::size_t cell_receivers(const TenantSpec& spec, std::size_t cell) {
+  LRS_CHECK(spec.receivers_min >= 1 &&
+            spec.receivers_min <= spec.receivers_max);
+  const std::size_t span = spec.receivers_max - spec.receivers_min + 1;
+  return spec.receivers_min +
+         static_cast<std::size_t>(mix64(spec.seed ^ (0xce11ULL + cell)) %
+                                  span);
+}
+
+std::uint64_t cell_seed(const TenantSpec& spec, std::size_t cell) {
+  return mix64(mix64(spec.seed) ^ (0x5eedULL * (cell + 1)));
+}
+
+}  // namespace lrs::fleet

@@ -45,6 +45,16 @@ class SchemeState {
 
   // --- identity & geometry -------------------------------------------------
   virtual Version version() const = 0;
+  /// Deep copy of a COMPLETE (serving-ready) state, sharing the expensive
+  /// immutable preprocessing — hash chain, Merkle tree, signature frame,
+  /// cached codecs — instead of recomputing and re-signing per copy. The
+  /// fleet engine uses this to stamp one prepared image onto thousands of
+  /// concurrent cells' base stations. Returns nullptr when the state is not
+  /// complete here (nothing worth cloning) or the scheme does not support
+  /// it (the default).
+  virtual std::unique_ptr<SchemeState> clone_source() const {
+    return nullptr;
+  }
   /// Total transfer pages (hash page included where the scheme has one).
   virtual std::uint32_t num_pages() const = 0;
   /// Number of distinct packets a page is served as (n, n0 or k).

@@ -253,6 +253,51 @@ class Registry {
   Impl& impl() const;
 };
 
+/// Prefix-scope handle over the registry: every metric created through a
+/// Scope("fleet.t03") is named "fleet.t03.<name>", so concurrent components
+/// of one process — fleet tenants above all — get disjoint registry slots
+/// instead of aliasing each other's counters, with zero export changes:
+/// the deterministic section sorts by full name, so one scope's metrics
+/// group into an adjacent block per tenant. Scopes are cheap name builders;
+/// the usual discipline still applies (look metrics up once, cache the
+/// returned references, record through them lock-free).
+class Scope {
+ public:
+  /// `prefix` without the trailing dot ("fleet.t03").
+  explicit Scope(std::string_view prefix)
+      : prefix_(std::string(prefix) + ".") {}
+
+  Counter& counter(std::string_view name) const {
+    return Registry::instance().counter(full(name));
+  }
+  Gauge& gauge(std::string_view name) const {
+    return Registry::instance().gauge(full(name));
+  }
+  Histogram& histogram(std::string_view name) const {
+    return Registry::instance().histogram(full(name));
+  }
+  Timer& timer(std::string_view name, bool top_level = false,
+               bool deterministic = true) const {
+    return Registry::instance().timer(full(name), top_level, deterministic);
+  }
+
+  /// Nested scope: Scope("fleet").sub("t03") == Scope("fleet.t03").
+  Scope sub(std::string_view name) const { return Scope(full(name)); }
+
+  /// The full prefix including the trailing dot ("fleet.t03.").
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string full(std::string_view name) const {
+    std::string s;
+    s.reserve(prefix_.size() + name.size());
+    s += prefix_;
+    s += name;
+    return s;
+  }
+  std::string prefix_;  // always ends with '.'
+};
+
 /// Full export document (schema "lrs-metrics-v1"): schema tag, caller
 /// provenance (pass "null" when absent), deterministic + timing sections.
 std::string metrics_json(const std::string& provenance_json);
